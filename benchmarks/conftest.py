@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper. The heavyweight
+measurement campaign is shared through a session-scoped
+:class:`ExperimentContext` at the paper's full resolution (50 MHz grid,
+10 repeats, all datasets and bounds).
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+reproduced tables rendered to the terminal).
+"""
+
+import pytest
+
+from repro.experiments.context import ExperimentContext
+from repro.workflow.sweep import SweepConfig
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """Full-resolution campaign shared by all table/figure benches."""
+    return ExperimentContext(config=SweepConfig())
+
+
+def emit(text: str) -> None:
+    """Print a reproduced table/series (visible with ``pytest -s``)."""
+    print("\n" + text)

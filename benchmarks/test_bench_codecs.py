@@ -1,0 +1,51 @@
+"""Throughput benchmarks of the real SZ/ZFP codecs.
+
+These are genuine performance benchmarks (the other benches time the
+experiment harness): encode/decode throughput on a NYX field at the
+paper's middle error bound, plus ratio bookkeeping in ``extra_info``.
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.compressors import SZCompressor, ZFPCompressor
+from repro.data import load_field
+
+
+@pytest.fixture(scope="module")
+def field():
+    return load_field("nyx", "velocity_x", scale=12)  # ~43³ float32
+
+
+@pytest.mark.parametrize("codec_cls", [SZCompressor, ZFPCompressor],
+                         ids=["sz", "zfp"])
+def test_bench_compress(benchmark, codec_cls, field):
+    codec = codec_cls()
+    buf = benchmark(codec.compress, field, 1e-2)
+    benchmark.extra_info["ratio"] = buf.ratio
+    benchmark.extra_info["mb"] = field.nbytes / 1e6
+    assert buf.ratio > 1.5
+
+
+@pytest.mark.parametrize("codec_cls", [SZCompressor, ZFPCompressor],
+                         ids=["sz", "zfp"])
+def test_bench_decompress(benchmark, codec_cls, field):
+    codec = codec_cls()
+    buf = codec.compress(field, 1e-2)
+    rec = benchmark(codec.decompress, buf)
+    err = float(np.max(np.abs(field.astype(np.float64) - rec.astype(np.float64))))
+    benchmark.extra_info["max_error"] = err
+    assert err <= 1e-2
+
+
+def test_bench_sz_error_bound_scaling(benchmark, field):
+    """SZ cost across the paper's bounds (one call covers all four)."""
+    codec = SZCompressor()
+
+    def run_all():
+        return [codec.compress(field, eb).ratio for eb in (1e-1, 1e-2, 1e-3, 1e-4)]
+
+    ratios = benchmark.pedantic(run_all, rounds=2, iterations=1)
+    emit(f"SZ ratios across bounds 1e-1..1e-4: {[round(r, 2) for r in ratios]}")
+    assert ratios == sorted(ratios, reverse=True)

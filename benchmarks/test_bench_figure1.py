@@ -1,0 +1,43 @@
+"""Bench: regenerate Fig. 1 (compression scaled power characteristics)."""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments.characteristics import characteristic_bands
+from repro.workflow.report import render_series
+
+
+def test_bench_figure1(benchmark, ctx):
+    samples = ctx.outcome.compression_samples
+
+    bands = benchmark.pedantic(
+        characteristic_bands, args=(samples, ("cpu", "compressor"), "power"),
+        rounds=3, iterations=1,
+    )
+    for (cpu, comp), band in sorted(bands.items()):
+        emit(render_series(
+            band.x,
+            {"scaled_power": band.mean, "ci_low": band.lower, "ci_high": band.upper},
+            title=f"FIG. 1 — compression scaled power: {cpu}/{comp}",
+        ))
+
+    assert len(bands) == 4
+    for (cpu, comp), band in bands.items():
+        # Critical power slope: maximum at fmax, near-flat floor below.
+        assert band.mean[-1] == max(band.mean)
+        assert 0.70 < band.mean[0] < 0.90
+        # Paper's Fig. 1 floor: ~0.8 for compression.
+        mid = band.mean[len(band.mean) // 2]
+        assert mid < 0.92
+
+    # Paper: ~19.4 % power saving at a 12.5 % frequency cut (avg of
+    # both chips/compressors); band check around it.
+    savings = []
+    for (cpu, comp), band in bands.items():
+        fmax = band.x[-1]
+        idx = int(np.argmin(np.abs(band.x - 0.875 * fmax)))
+        savings.append(1.0 - band.mean[idx] / band.mean[-1])
+    avg = float(np.mean(savings))
+    emit(f"Average compression power saving at 0.875*fmax: {avg * 100:.1f} % "
+         "(paper: 19.4 %)")
+    assert 0.10 < avg < 0.25

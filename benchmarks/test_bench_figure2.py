@@ -1,0 +1,43 @@
+"""Bench: regenerate Fig. 2 (compression scaled runtime characteristics)."""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments.characteristics import characteristic_bands
+from repro.workflow.report import render_series
+
+
+def test_bench_figure2(benchmark, ctx):
+    samples = ctx.outcome.compression_samples
+
+    bands = benchmark.pedantic(
+        characteristic_bands, args=(samples, ("cpu", "compressor"), "runtime"),
+        rounds=3, iterations=1,
+    )
+    for (cpu, comp), band in sorted(bands.items()):
+        emit(render_series(
+            band.x,
+            {"scaled_runtime": band.mean, "ci_low": band.lower, "ci_high": band.upper},
+            title=f"FIG. 2 — compression scaled runtime: {cpu}/{comp}",
+        ))
+
+    for (cpu, comp), band in bands.items():
+        # Best runtime at the highest clock; monotone decrease.
+        assert band.mean[-1] == min(band.mean)
+        assert np.all(np.diff(band.mean) <= 0.01)
+
+    # Paper: SZ and ZFP trends overlap.
+    for cpu in ("broadwell", "skylake"):
+        sz = bands[(cpu, "sz")].mean
+        zfp = bands[(cpu, "zfp")].mean
+        assert np.max(np.abs(sz - zfp)) < 0.05
+
+    # Paper: +7.5 % runtime at a 12.5 % frequency cut (average).
+    slow = []
+    for band in bands.values():
+        fmax = band.x[-1]
+        idx = int(np.argmin(np.abs(band.x - 0.875 * fmax)))
+        slow.append(band.mean[idx] / band.mean[-1] - 1.0)
+    avg = float(np.mean(slow))
+    emit(f"Average compression slowdown at 0.875*fmax: {avg * 100:.1f} % (paper: 7.5 %)")
+    assert 0.04 < avg < 0.12

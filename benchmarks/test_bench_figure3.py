@@ -1,0 +1,52 @@
+"""Bench: regenerate Fig. 3 (data transit scaled power characteristics)."""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments.characteristics import characteristic_bands
+from repro.workflow.report import render_series
+
+
+def test_bench_figure3(benchmark, ctx):
+    samples = ctx.outcome.transit_samples
+
+    bands = benchmark.pedantic(
+        characteristic_bands, args=(samples, ("cpu",), "power"),
+        rounds=3, iterations=1,
+    )
+    for (cpu,), band in sorted(bands.items()):
+        emit(render_series(
+            band.x,
+            {"scaled_power": band.mean, "ci_low": band.lower, "ci_high": band.upper},
+            title=f"FIG. 3 — data transit scaled power: {cpu}",
+        ))
+
+    for (cpu,), band in bands.items():
+        assert band.mean[-1] == max(band.mean)
+
+    # Paper prose: write floors sit higher (~0.9) than compression
+    # floors (~0.8) because data writing loads the core harder. Note
+    # the paper's own Table V contradicts this for Broadwell (transit
+    # c = 0.7097 < compression c = 0.7429), and our curves inherit its
+    # fitted constants — so the floor comparison is asserted where the
+    # paper's numbers actually support it: Skylake (0.888 vs 0.794).
+    comp_bands = characteristic_bands(
+        ctx.outcome.compression_samples, ("cpu",), value="power"
+    )
+    assert bands[("skylake",)].mean[0] > comp_bands[("skylake",)].mean[0]
+
+    # Skylake's transit range is narrower than Broadwell's (paper note).
+    bw_span = bands[("broadwell",)].mean[-1] - bands[("broadwell",)].mean[0]
+    sky_span = bands[("skylake",)].mean[-1] - bands[("skylake",)].mean[0]
+    emit(f"Scaled power span: broadwell={bw_span:.3f}, skylake={sky_span:.3f}")
+    assert sky_span < bw_span
+
+    # Paper: ~11.2 % average power saving at a 15 % frequency cut.
+    savings = []
+    for band in bands.values():
+        fmax = band.x[-1]
+        idx = int(np.argmin(np.abs(band.x - 0.85 * fmax)))
+        savings.append(1.0 - band.mean[idx] / band.mean[-1])
+    avg = float(np.mean(savings))
+    emit(f"Average transit power saving at 0.85*fmax: {avg * 100:.1f} % (paper: 11.2 %)")
+    assert 0.06 < avg < 0.18

@@ -1,0 +1,42 @@
+"""Bench: regenerate Fig. 4 (data transit scaled runtime characteristics)."""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments.characteristics import characteristic_bands
+from repro.workflow.report import render_series
+
+
+def test_bench_figure4(benchmark, ctx):
+    samples = ctx.outcome.transit_samples
+
+    bands = benchmark.pedantic(
+        characteristic_bands, args=(samples, ("cpu",), "runtime"),
+        rounds=3, iterations=1,
+    )
+    for (cpu,), band in sorted(bands.items()):
+        emit(render_series(
+            band.x,
+            {"scaled_runtime": band.mean, "ci_low": band.lower, "ci_high": band.upper},
+            title=f"FIG. 4 — data transit scaled runtime: {cpu}",
+        ))
+
+    for (cpu,), band in bands.items():
+        assert band.mean[-1] == min(band.mean)  # lowest runtime at fmax
+
+    # Paper: Skylake write runtime is stagnant vs Broadwell's stretch.
+    bw_stretch = bands[("broadwell",)].mean[0]
+    sky_stretch = bands[("skylake",)].mean[0]
+    emit(f"Runtime stretch at fmin: broadwell={bw_stretch:.3f}x, skylake={sky_stretch:.3f}x")
+    assert sky_stretch < bw_stretch
+    assert sky_stretch < 1.6  # "stagnant"
+
+    # Paper: +9.3 % average runtime at a 15 % frequency cut.
+    slow = []
+    for band in bands.values():
+        fmax = band.x[-1]
+        idx = int(np.argmin(np.abs(band.x - 0.85 * fmax)))
+        slow.append(band.mean[idx] / band.mean[-1] - 1.0)
+    avg = float(np.mean(slow))
+    emit(f"Average transit slowdown at 0.85*fmax: {avg * 100:.1f} % (paper: 9.3 %)")
+    assert 0.05 < avg < 0.14

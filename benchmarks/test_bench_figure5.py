@@ -1,0 +1,34 @@
+"""Bench: regenerate Fig. 5 (Broadwell model validated on Hurricane-ISABEL)."""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import figure5
+from repro.workflow.report import render_series
+
+
+def test_bench_figure5(benchmark, ctx):
+    result = benchmark.pedantic(figure5.run, args=(ctx,), rounds=1, iterations=1)
+
+    f, obs, pred = result.curve()
+    uniq = np.unique(f)
+    emit(render_series(
+        uniq,
+        {
+            "observed": np.array([obs[f == u].mean() for u in uniq]),
+            "model": np.array([pred[f == u].mean() for u in uniq]),
+        },
+        title="FIG. 5 — Broadwell model on held-out Hurricane-ISABEL",
+    ))
+    emit(f"GF: SSE={result.gof.sse:.4f} RMSE={result.gof.rmse:.4f} "
+         f"(paper: SSE={figure5.PAPER_SSE}, RMSE={figure5.PAPER_RMSE})")
+
+    # Paper's claim: the model generalizes to unseen data with little
+    # error. Same order of magnitude as their SSE=0.1463 / RMSE=0.0256.
+    assert result.gof.rmse < 0.05
+    assert result.gof.sse < 0.5
+    # Observed and modeled curves agree pointwise within a few percent.
+    assert np.max(np.abs(obs - pred)) < 0.12
+
+    benchmark.extra_info["validation_sse"] = result.gof.sse
+    benchmark.extra_info["validation_rmse"] = result.gof.rmse

@@ -1,0 +1,50 @@
+"""Bench: regenerate Fig. 6 (energy dissipation for 512 GB data dumping).
+
+Paper: SZ-compressing and transmitting 512 GB of NYX data with Eqn. 3
+tuning always reduces energy, saving 6.5 kJ (13 %) averaged over error
+bounds 1e-1..1e-4.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import figure6
+from repro.workflow.report import render_table
+
+
+def test_bench_figure6(benchmark, ctx):
+    results = benchmark.pedantic(figure6.run, args=(ctx,), rounds=1, iterations=1)
+
+    all_fracs = []
+    for arch, reports in results.items():
+        rows = [
+            {
+                "error_bound": r.error_bound,
+                "base_clock_kj": r.baseline_energy_j / 1e3,
+                "tuned_kj": r.tuned_energy_j / 1e3,
+                "saved_kj": r.energy_saved_j / 1e3,
+                "saving_pct": r.energy_saving_fraction * 100,
+                "ratio": r.compression_ratio,
+            }
+            for r in reports
+        ]
+        emit(render_table(rows, title=f"FIG. 6 — 512 GB NYX dump energy ({arch})"))
+
+        # Shape claims: tuning always wins; finer bounds cost more energy.
+        for r in reports:
+            assert r.energy_saved_j > 0, f"{arch} eb={r.error_bound}"
+        base = [r.baseline_energy_j for r in reports]
+        assert base == sorted(base)  # eb 1e-1 → 1e-4 grows
+        all_fracs.extend(r.energy_saving_fraction for r in reports)
+
+        avg_kj = float(np.mean([r.energy_saved_j for r in reports])) / 1e3
+        benchmark.extra_info[f"{arch}_avg_saved_kj"] = avg_kj
+
+    avg_frac = float(np.mean(all_fracs))
+    avg_kj = float(np.mean([r.energy_saved_j
+                            for reports in results.values() for r in reports])) / 1e3
+    emit(f"Average over archs/bounds: {avg_kj:.2f} kJ saved, "
+         f"{avg_frac * 100:.1f} % (paper: 6.5 kJ, 13 %)")
+    # Same savings band as the paper.
+    assert 2.0 < avg_kj < 15.0
+    assert 0.05 < avg_frac < 0.22

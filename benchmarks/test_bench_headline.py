@@ -1,0 +1,28 @@
+"""Bench: regenerate the Section V/VI headline numbers."""
+
+from conftest import emit
+
+from repro.experiments import headline
+from repro.workflow.report import render_table
+
+
+def test_bench_headline(benchmark, ctx):
+    nums = benchmark.pedantic(headline.run, args=(ctx,), rounds=1, iterations=1)
+    measured = nums.as_dict()
+    rows = [
+        {"quantity": k, "reproduced_pct": measured[k] * 100,
+         "paper_pct": headline.PAPER[k] * 100}
+        for k in headline.PAPER
+    ]
+    emit(render_table(rows, title="HEADLINE NUMBERS (Sections V-VI)"))
+
+    # Orderings and bands the paper claims:
+    assert nums.compress_power_saving > nums.write_power_saving  # 19.4 > 11.2
+    assert nums.write_slowdown > nums.compress_slowdown          # 9.3 > 7.5
+    assert 0.10 < nums.compress_power_saving < 0.25
+    assert 0.06 < nums.write_power_saving < 0.18
+    assert abs(nums.combined_slowdown - headline.PAPER["combined_slowdown"]) < 0.03
+    assert nums.combined_energy_saving > 0.03
+
+    for k, v in measured.items():
+        benchmark.extra_info[k] = v

@@ -1,0 +1,15 @@
+"""Bench: regenerate Table I (data sets considered in the study)."""
+
+from conftest import emit
+
+from repro.experiments import table1
+from repro.workflow.report import render_table
+
+
+def test_bench_table1(benchmark):
+    rows = benchmark(table1.run)
+    emit(render_table(rows, title="TABLE I — DATA SETS CONSIDERED IN STUDY"))
+    assert [r["dataset"] for r in rows] == ["cesm-atm", "hacc", "nyx"]
+    sizes = {r["dataset"]: r["field_size_mb"] for r in rows}
+    assert abs(sizes["cesm-atm"] - 673.9) < 0.1
+    assert abs(sizes["nyx"] - 536.9) < 0.1

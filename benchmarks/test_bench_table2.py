@@ -1,0 +1,15 @@
+"""Bench: regenerate Table II (hardware utilized)."""
+
+from conftest import emit
+
+from repro.experiments import table2
+from repro.workflow.report import render_table
+
+
+def test_bench_table2(benchmark):
+    rows = benchmark(table2.run)
+    emit(render_table(rows, title="TABLE II — HARDWARE UTILIZED"))
+    assert rows[0]["cpu"] == "Intel Xeon D-1548"
+    assert rows[1]["cpu"] == "Intel Xeon Silver 4114"
+    assert rows[0]["clock_range_ghz"] == "0.8GHz - 2.0GHz"
+    assert rows[1]["clock_range_ghz"] == "0.8GHz - 2.2GHz"

@@ -1,0 +1,12 @@
+"""Bench: regenerate Table III (models produced for tuning)."""
+
+from conftest import emit
+
+from repro.experiments import table3
+from repro.workflow.report import render_table
+
+
+def test_bench_table3(benchmark):
+    rows = benchmark(table3.run)
+    emit(render_table(rows, title="TABLE III — MODELS PRODUCED FOR TUNING"))
+    assert [r["model_data"] for r in rows] == ["Total", "SZ", "ZFP", "Broadwell", "Skylake"]

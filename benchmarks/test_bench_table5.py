@@ -1,0 +1,31 @@
+"""Bench: regenerate Table V (data-transit power models + GF)."""
+
+from conftest import emit
+
+from repro.core.partitions import TRANSIT_PARTITIONS, fit_partition_models
+from repro.experiments import table5
+from repro.workflow.report import render_table
+
+
+def test_bench_table5(benchmark, ctx):
+    samples = ctx.outcome.transit_samples
+
+    models = benchmark.pedantic(
+        fit_partition_models, args=(samples, TRANSIT_PARTITIONS),
+        rounds=3, iterations=1,
+    )
+    rows = tuple(m.as_table_row() for m in models.values())
+    emit(render_table(rows, title="TABLE V — MODELS AND GF DATA TRANSIT (reproduced)"))
+    emit(render_table(table5.PAPER_ROWS, title="Paper reference values"))
+
+    by = {r["model"]: r for r in rows}
+    assert by["Broadwell"]["rmse"] < by["Total"]["rmse"]
+    assert by["Skylake"]["rmse"] < by["Total"]["rmse"]
+    # Transit exponents: Broadwell ~3.4, Skylake ~21 (paper bands).
+    assert 2.0 < models["Broadwell"].b < 5.0
+    assert 15.0 < models["Skylake"].b < 28.0
+    # Skylake's write floor sits higher (paper: c = 0.888).
+    assert models["Skylake"].c > models["Broadwell"].c
+
+    benchmark.extra_info["broadwell_equation"] = models["Broadwell"].equation()
+    benchmark.extra_info["skylake_equation"] = models["Skylake"].equation()

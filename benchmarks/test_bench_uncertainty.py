@@ -1,0 +1,59 @@
+"""Bench: bootstrap uncertainty of the Table IV parameters.
+
+Quantifies what the paper's point estimates hide: the Broadwell
+exponent is reasonably identified, while the Skylake exponent's
+interval is enormous — which is exactly why its R² is an unreliable
+metric there (the paper's own observation about non-linear fits).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core.uncertainty import bootstrap_power_fit
+from repro.workflow.report import render_table
+
+
+def test_bench_uncertainty(benchmark, ctx):
+    samples = ctx.outcome.compression_samples
+
+    def run():
+        rows = []
+        results = {}
+        for arch in ("broadwell", "skylake"):
+            res = bootstrap_power_fit(
+                samples.filter(cpu=arch), n_boot=120, seed=0
+            )
+            results[arch] = res
+            for pname in ("a", "b", "c"):
+                p = getattr(res, pname)
+                rows.append(
+                    {
+                        "arch": arch,
+                        "param": pname,
+                        "estimate": p.estimate,
+                        "ci_low": p.lower,
+                        "ci_high": p.upper,
+                    }
+                )
+        return rows, results
+
+    rows, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(render_table(rows, title="BOOTSTRAP — 95 % parameter intervals (compression models)"))
+
+    bw, sky = results["broadwell"], results["skylake"]
+    # Ground-truth parameters are inside (or adjacent to) the intervals.
+    assert bw.b.contains(5.315) or abs(bw.b.estimate - 5.315) < 0.5
+    assert bw.c.contains(0.7429) or abs(bw.c.estimate - 0.7429) < 0.02
+    # The a/b trade-off: on Skylake's cliff-shaped curve the scale
+    # parameter `a` is wildly unidentified (orders of magnitude wide in
+    # relative terms) even when b is pinned — the reason fitted Skylake
+    # rows vary so much between papers and runs.
+    assert (sky.a.width / sky.a.estimate) > 3 * (bw.a.width / bw.a.estimate)
+    # But the *constant* (the power floor) is tight on both chips —
+    # the physically meaningful quantity survives the ambiguity.
+    assert bw.c.width < 0.05 and sky.c.width < 0.05
+    # The prediction band is non-degenerate and brackets its own fit.
+    assert np.all(sky.band_lower <= sky.band_upper)
+
+    emit(f"Broadwell b: {bw.b.estimate:.2f} [{bw.b.lower:.2f}, {bw.b.upper:.2f}]  "
+         f"Skylake b: {sky.b.estimate:.1f} [{sky.b.lower:.1f}, {sky.b.upper:.1f}]")

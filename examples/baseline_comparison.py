@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Lossless vs lossy baseline (Section I's motivation).
+
+The paper motivates lossy compression by its space/runtime advantage
+over lossless codecs on floating-point data. This study quantifies the
+gap on the Table I fields with this repository's own codecs: the gzip
+baseline (with byte shuffle) vs SZ and ZFP at the paper's bounds.
+
+    python examples/baseline_comparison.py
+"""
+
+from repro import LosslessCompressor, SZCompressor, ZFPCompressor, load_field
+from repro.workflow.report import render_table
+
+FIELDS = (("cesm-atm", "T"), ("nyx", "velocity_x"), ("hacc", "x"))
+
+
+def main() -> None:
+    rows = []
+    for dataset, field in FIELDS:
+        arr = load_field(dataset, field, scale=12)
+        gzip_ratio = LosslessCompressor().compress(arr, 1.0).ratio
+        for eb in (1e-2, 1e-4):
+            sz = SZCompressor().compress(arr, eb).ratio
+            zfp = ZFPCompressor().compress(arr, eb).ratio
+            rows.append(
+                {
+                    "dataset": f"{dataset}/{field}",
+                    "eb": eb,
+                    "gzip_ratio": gzip_ratio,
+                    "sz_ratio": sz,
+                    "zfp_ratio": zfp,
+                    "sz_vs_gzip": sz / gzip_ratio,
+                }
+            )
+    print(render_table(rows, title="Lossless baseline vs SZ/ZFP compression ratios"))
+
+    worst = min(r["sz_vs_gzip"] for r in rows if r["eb"] == 1e-2)
+    print(f"\nAt eb=1e-2, SZ beats the shuffled-gzip baseline by at least "
+          f"{worst:.1f}x on every field — the premise of compressing before I/O.")
+    assert worst > 1.5
+
+
+if __name__ == "__main__":
+    main()

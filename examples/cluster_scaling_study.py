@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Cluster scaling study: dumping from many nodes through one NFS.
+
+Extends the paper's single-node experiment toward its exascale framing:
+N clients compress locally and write concurrently to shared storage.
+Shows (a) the server capacity capping aggregate bandwidth, (b) the
+write phase's DVFS sensitivity collapsing once the network saturates —
+at which point downclocking the write stage is free — and (c) cluster
+energy savings from Eqn. 3 at every scale.
+
+    python examples/cluster_scaling_study.py
+"""
+
+from repro import SZCompressor, SKYLAKE_4114, load_field
+from repro.iosim import Cluster, NfsTarget
+from repro.workflow.report import render_table
+
+
+def main() -> None:
+    arr = load_field("nyx", "velocity_x", scale=16)
+    nfs = NfsTarget()
+    cpu = SKYLAKE_4114
+    f_c = cpu.snap_frequency(0.875 * cpu.fmax_ghz)
+    f_w = cpu.snap_frequency(0.85 * cpu.fmax_ghz)
+
+    rows = []
+    for n in (1, 2, 4, 8, 16, 32):
+        cluster = Cluster(cpu, n_nodes=n, nfs=nfs, seed=7, repeats=3)
+        base = cluster.dump_all(SZCompressor(), arr, 1e-2, int(64e9))
+        tuned = cluster.dump_all(SZCompressor(), arr, 1e-2, int(64e9),
+                                 compress_freq_ghz=f_c, write_freq_ghz=f_w)
+        w_base = max(r.write.runtime_s for r in base.per_node)
+        w_tuned = max(r.write.runtime_s for r in tuned.per_node)
+        rows.append(
+            {
+                "nodes": n,
+                "cpu_bound_frac": base.cpu_bound_fraction,
+                "agg_write_mb_s": base.aggregate_write_bandwidth_bps / 1e6,
+                "base_energy_kj": base.total_energy_j / 1e3,
+                "saved_pct": (1 - tuned.total_energy_j / base.total_energy_j) * 100,
+                "write_slowdown_pct": (w_tuned / w_base - 1) * 100,
+                "makespan_s": base.makespan_s,
+            }
+        )
+    print(render_table(rows, title="Cluster dump scaling (64 GB/node, SZ eb=1e-2, Skylake)"))
+
+    # The qualitative claims:
+    fracs = [r["cpu_bound_frac"] for r in rows]
+    assert fracs == sorted(fracs, reverse=True), "contention must grow with N"
+    assert all(r["saved_pct"] > 0 for r in rows), "tuning must save at every scale"
+    # Once network-bound, the tuned write's runtime penalty collapses.
+    assert rows[-1]["write_slowdown_pct"] < rows[0]["write_slowdown_pct"]
+    cap = nfs.shared_capacity_mbps
+    assert all(r["agg_write_mb_s"] <= cap * 1.05 for r in rows)
+    print(f"\nAggregate write bandwidth saturates at the server capacity "
+          f"({cap:.0f} MB/s); once saturated, the tuned write stage costs "
+          f"~zero extra runtime — frequency reduction becomes free.")
+
+
+if __name__ == "__main__":
+    main()

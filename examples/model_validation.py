@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Model validation on held-out data (the Fig. 5 experiment).
+
+Fits the Broadwell compression power model on the Table I datasets,
+then scores it against a *fresh* sweep of the six Hurricane-ISABEL
+fields it never saw — plus a negative control: the Skylake model scored
+on the same Broadwell data, which should fit much worse.
+
+    python examples/model_validation.py
+"""
+
+from repro.experiments import figure5
+from repro.experiments.context import ExperimentContext
+from repro.workflow.report import render_series
+
+
+def main() -> None:
+    ctx = ExperimentContext()
+    result = figure5.run(ctx)
+    f, obs, pred = result.curve()
+
+    import numpy as np
+
+    uniq = np.unique(f)
+    print(render_series(
+        uniq,
+        {
+            "observed": np.array([obs[f == u].mean() for u in uniq]),
+            "broadwell_model": np.array([pred[f == u].mean() for u in uniq]),
+        },
+        title="Broadwell model vs held-out Hurricane-ISABEL (Fig. 5)",
+    ))
+    print(f"\nValidation GF: SSE={result.gof.sse:.4f} RMSE={result.gof.rmse:.4f} "
+          f"(paper reports SSE={figure5.PAPER_SSE}, RMSE={figure5.PAPER_RMSE})")
+
+    # Negative control: the Skylake model should NOT explain Broadwell data.
+    skylake_model = ctx.outcome.compression_models["Skylake"]
+    wrong_gof = skylake_model.evaluate(result.samples)
+    print(f"Negative control — Skylake model on the same data: "
+          f"SSE={wrong_gof.sse:.4f} RMSE={wrong_gof.rmse:.4f} "
+          f"({wrong_gof.rmse / result.gof.rmse:.1f}x worse RMSE)")
+    assert wrong_gof.rmse > result.gof.rmse, (
+        "expected the mismatched architecture model to fit worse"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Multi-core co-tuning: wide-and-slow vs the paper's single-core rule.
+
+The paper tunes one core's frequency. A socket has many cores sharing
+one static-power floor — the large constant 'c' in every fitted model.
+This study sweeps (cores × frequency) for the 64 GB SZ compression
+stage and shows that spreading the work wide at a moderate clock
+amortizes that floor, beating single-core Eqn. 3 by several times in
+energy while *also* finishing sooner.
+
+    python examples/multicore_study.py
+"""
+
+from repro import default_nodes
+from repro.core.multicore import (
+    optimal_configuration,
+    pareto_front,
+    sweep_configurations,
+)
+from repro.hardware.workload import WorkloadKind, compression_workload
+from repro.workflow.asciiplot import ascii_chart
+from repro.workflow.report import render_table
+
+
+def main() -> None:
+    wl = compression_workload(WorkloadKind.COMPRESS_SZ, int(64e9), 1e-2)
+    rows = []
+    for node in default_nodes():
+        node.power_noise = 0.0
+        node.runtime_noise = 0.0
+        cpu = node.cpu
+        single_eqn3_f = cpu.snap_frequency(0.875 * cpu.fmax_ghz)
+        t_eqn3 = node.true_runtime_s(wl, single_eqn3_f, cores=1)
+        e_eqn3 = t_eqn3 * node.true_power_w(wl, single_eqn3_f, cores=1)
+        best = optimal_configuration(node, wl)
+        rows.append(
+            {
+                "arch": cpu.arch,
+                "policy": "Eqn.3 single-core",
+                "cores": 1,
+                "freq_ghz": single_eqn3_f,
+                "runtime_s": t_eqn3,
+                "energy_kj": e_eqn3 / 1e3,
+            }
+        )
+        rows.append(
+            {
+                "arch": cpu.arch,
+                "policy": "wide-and-slow optimum",
+                "cores": best.cores,
+                "freq_ghz": best.freq_ghz,
+                "runtime_s": best.runtime_s,
+                "energy_kj": best.energy_j / 1e3,
+            }
+        )
+    print(render_table(rows, title="64 GB SZ compression: single-core Eqn. 3 vs (cores x f) optimum"))
+
+    # Pareto front on Broadwell, rendered as an ASCII chart.
+    node = default_nodes()[0]
+    node.power_noise = 0.0
+    node.runtime_noise = 0.0
+    front = pareto_front(sweep_configurations(node, wl))
+    print()
+    print(ascii_chart(
+        [p.runtime_s for p in front],
+        {"energy_kJ": [p.energy_j / 1e3 for p in front]},
+        title="Broadwell runtime/energy Pareto front (cores x frequency)",
+        x_label="runtime (s)",
+        width=56, height=12,
+    ))
+
+    for arch in ("broadwell", "skylake"):
+        single = next(r for r in rows if r["arch"] == arch and r["cores"] == 1)
+        multi = next(r for r in rows if r["arch"] == arch and r["cores"] > 1)
+        assert multi["energy_kj"] < 0.5 * single["energy_kj"]
+        assert multi["runtime_s"] < single["runtime_s"]
+    print("\nAmortizing the shared static floor across cores beats the "
+          "single-core frequency rule by >2x in energy — and is faster. "
+          "The paper's own fitted constants (c ≈ 0.74-0.89) predict this.")
+
+
+if __name__ == "__main__":
+    main()

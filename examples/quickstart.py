@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: the full characterize → model → tune → apply loop.
+
+Runs the paper's methodology end to end on the two simulated CloudLab
+nodes and prints the fitted power models, the Eqn. 3 recommendations,
+and the energy saved on a 512 GB NYX dump.
+
+    python examples/quickstart.py
+"""
+
+from repro import PAPER_POLICY, SweepConfig, TunedIOPipeline, default_nodes
+from repro.workflow.report import render_table
+
+
+def main() -> None:
+    # 1. Two simulated nodes: Broadwell Xeon D-1548 + Skylake Silver 4114.
+    pipe = TunedIOPipeline(default_nodes())
+
+    # 2. Characterize: sweep compression + NFS writes across the DVFS
+    #    grid (10 repeats per point, like the paper), then fit the
+    #    a*f^b + c power models and leading-loads runtime models.
+    outcome = pipe.characterize(SweepConfig())
+    print(render_table(outcome.model_table("compression"),
+                       title="Compression power models (Table IV)"))
+    print()
+    print(render_table(outcome.model_table("transit"),
+                       title="Data-transit power models (Table V)"))
+
+    # 3. Tune: evaluate the paper's Eqn. 3 policy (0.875/0.85 of fmax).
+    outcome = pipe.recommend(outcome, PAPER_POLICY)
+    rows = [
+        {
+            "cpu": r.cpu,
+            "stage": r.stage,
+            "freq_ghz": r.freq_ghz,
+            "power_saving_pct": r.predicted_power_saving * 100,
+            "slowdown_pct": r.predicted_slowdown * 100,
+            "energy_saving_pct": r.predicted_energy_saving * 100,
+        }
+        for r in outcome.recommendations
+    ]
+    print()
+    print(render_table(rows, title="Eqn. 3 tuning recommendations"))
+
+    # 4. Apply: compress-and-dump 512 GB of NYX data, base clock vs tuned.
+    print()
+    for arch in ("broadwell", "skylake"):
+        report = pipe.apply(outcome, arch=arch, error_bound=1e-2)
+        print(
+            f"{arch:9s}: 512 GB SZ dump  base={report.baseline_energy_j / 1e3:7.1f} kJ  "
+            f"tuned={report.tuned_energy_j / 1e3:7.1f} kJ  "
+            f"saved={report.energy_saved_j / 1e3:5.2f} kJ "
+            f"({report.energy_saving_fraction * 100:.1f} %) "
+            f"at +{report.runtime_increase_fraction * 100:.1f} % runtime"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Multi-field snapshot dumps with per-field error bounds.
+
+A real NYX checkpoint bundles several fields with different fidelity
+needs: density drives the science (fine bound), velocities tolerate
+more loss. This study dumps such a bundle with per-field bounds — the
+realistic version of Fig. 6's single concatenated field — and compares
+base clock against Eqn. 3 on both chips.
+
+    python examples/snapshot_dump_study.py
+"""
+
+from repro import SZCompressor, default_nodes, load_field
+from repro.iosim.snapshot import SnapshotDumper, SnapshotField, SnapshotSpec
+from repro.workflow.report import render_table
+
+
+def make_spec(scale: int = 16) -> SnapshotSpec:
+    return SnapshotSpec(
+        fields=(
+            SnapshotField("baryon_density",
+                          load_field("nyx", "baryon_density", scale=scale),
+                          error_bound=1e-4, target_bytes=int(128e9)),
+            SnapshotField("velocity_x",
+                          load_field("nyx", "velocity_x", scale=scale),
+                          error_bound=1e-2, target_bytes=int(128e9)),
+            SnapshotField("temperature",
+                          load_field("nyx", "temperature", scale=scale),
+                          error_bound=1e-3, target_bytes=int(128e9)),
+        )
+    )
+
+
+def main() -> None:
+    spec = make_spec()
+    rows = []
+    for node in default_nodes():
+        cpu = node.cpu
+        dumper = SnapshotDumper(node)
+        base = dumper.dump(SZCompressor(), spec)
+        tuned = dumper.dump(
+            SZCompressor(), spec,
+            compress_freq_ghz=cpu.snap_frequency(0.875 * cpu.fmax_ghz),
+            write_freq_ghz=cpu.snap_frequency(0.85 * cpu.fmax_ghz),
+        )
+        rows.append(
+            {
+                "arch": cpu.arch,
+                "overall_ratio": base.overall_ratio,
+                "base_kj": base.total_energy_j / 1e3,
+                "tuned_kj": tuned.total_energy_j / 1e3,
+                "saved_pct": (1 - tuned.total_energy_j / base.total_energy_j) * 100,
+                "slowdown_pct": (tuned.total_runtime_s / base.total_runtime_s - 1) * 100,
+            }
+        )
+    print(render_table(rows, title="384 GB NYX snapshot (3 fields, per-field bounds)"))
+
+    # Per-field breakdown on the Skylake node.
+    node = default_nodes()[1]
+    rep = SnapshotDumper(node).dump(SZCompressor(), spec)
+    detail = [
+        {
+            "field": name,
+            "ratio": rep.ratios[name],
+            "compress_kj": stage.energy_j / 1e3,
+            "share_of_compress_pct": stage.energy_j / rep.compress_energy_j * 100,
+        }
+        for name, stage in rep.per_field.items()
+    ]
+    print()
+    print(render_table(detail, title="Per-field breakdown (skylake, base clock)"))
+
+    for r in rows:
+        assert r["saved_pct"] > 4.0
+    worst = max(detail, key=lambda d: d["share_of_compress_pct"])
+    print(f"\nThe finest-bound field ({worst['field']}) dominates compression "
+          f"energy at {worst['share_of_compress_pct']:.0f} % — fidelity "
+          "budgets, not just frequencies, decide the energy bill.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,474 @@
+"""Command-line interface: the power-tuning model tool.
+
+Subcommands cover the full workflow without writing Python:
+
+========== ==========================================================
+command     what it does
+========== ==========================================================
+datasets    list the registered Table I datasets and their geometry
+generate    synthesize a dataset field to a ``.npy`` file
+compress    compress a ``.npy`` array with SZ/ZFP/gzip
+decompress  reconstruct a ``.npy`` array from a compressed file
+characterize  run the measurement campaign and save fitted models
+tune        print frequency recommendations from a saved model bundle
+dump        simulate a compress-and-dump and report the energy saved
+experiment  regenerate one of the paper's tables/figures
+========== ==========================================================
+
+Example session::
+
+    repro-tool characterize --output models.json --repeats 5
+    repro-tool tune --models models.json --policy eqn3
+    repro-tool dump --models models.json --arch skylake --target-gb 512
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = (
+    "table1", "table2", "table3", "table4", "table5",
+    "figure1", "figure2", "figure3", "figure4", "figure5", "figure6",
+    "headline",
+    "ext-restore", "ext-cluster", "ext-breakeven", "ext-multicore",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-tool",
+        description="Power modeling and DVFS tuning of lossy compressed I/O "
+                    "(Wilkins & Calhoun 2022 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list registered datasets")
+
+    p = sub.add_parser("generate", help="synthesize a dataset field to .npy")
+    p.add_argument("--dataset", required=True)
+    p.add_argument("--field", required=True)
+    p.add_argument("--scale", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", required=True)
+
+    p = sub.add_parser("compress", help="compress a .npy array")
+    p.add_argument("--input", required=True)
+    p.add_argument("--output", required=True)
+    p.add_argument("--codec", default="sz")
+    p.add_argument("--error-bound", type=float, default=1e-3)
+    p.add_argument("--chunk-mb", type=float, default=None,
+                   help="bounded-memory slab size; writes a chunked container")
+
+    p = sub.add_parser("decompress", help="decompress to a .npy array")
+    p.add_argument("--input", required=True)
+    p.add_argument("--output", required=True)
+
+    p = sub.add_parser("characterize",
+                       help="run the measurement campaign, save fitted models")
+    p.add_argument("--output", required=True, help="model bundle JSON path")
+    p.add_argument("--export-dir", default=None,
+                   help="also write raw sweeps, tables and a manifest here")
+    p.add_argument("--repeats", type=int, default=10)
+    p.add_argument("--stride", type=int, default=1,
+                   help="take every n-th DVFS grid frequency")
+    p.add_argument("--scale", type=int, default=16, help="dataset scale divisor")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--curve", choices=("calibrated", "physical"),
+                   default="calibrated", help="ground-truth power curve")
+
+    p = sub.add_parser("tune", help="print recommendations from saved models")
+    p.add_argument("--models", required=True)
+    p.add_argument("--policy", choices=("eqn3", "optimal"), default="eqn3")
+    p.add_argument("--objective", choices=("power", "energy", "edp", "ed2p"),
+                   default="energy",
+                   help="objective for --policy optimal")
+
+    p = sub.add_parser("dump", help="simulate a compress-and-dump with tuning")
+    p.add_argument("--models", required=True)
+    p.add_argument("--arch", default="skylake")
+    p.add_argument("--codec", default="sz")
+    p.add_argument("--dataset", default="nyx")
+    p.add_argument("--field", default="velocity_x")
+    p.add_argument("--error-bound", type=float, default=1e-2)
+    p.add_argument("--target-gb", type=float, default=512.0)
+    p.add_argument("--scale", type=int, default=16)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("name", choices=_EXPERIMENTS)
+    p.add_argument("--repeats", type=int, default=10)
+    p.add_argument("--stride", type=int, default=1)
+    p.add_argument("--scale", type=int, default=16)
+
+    p = sub.add_parser("advise", help="pick an error bound from a target")
+    p.add_argument("--codec", default="sz")
+    p.add_argument("--dataset", default="nyx")
+    p.add_argument("--field", default="velocity_x")
+    p.add_argument("--scale", type=int, default=16)
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--target-ratio", type=float)
+    group.add_argument("--target-psnr", type=float)
+
+    p = sub.add_parser("campaign",
+                       help="simulate a checkpoint campaign, base vs tuned")
+    p.add_argument("--arch", default="skylake")
+    p.add_argument("--snapshot-gb", type=float, default=128.0)
+    p.add_argument("--snapshots", type=int, default=12)
+    p.add_argument("--interval-s", type=float, default=3600.0)
+    p.add_argument("--error-bound", type=float, default=1e-2)
+    p.add_argument("--scale", type=int, default=16)
+
+    p = sub.add_parser("cluster",
+                       help="simulate an N-node dump through a shared NFS")
+    p.add_argument("--arch", default="skylake")
+    p.add_argument("--nodes", type=int, default=8)
+    p.add_argument("--per-node-gb", type=float, default=64.0)
+    p.add_argument("--error-bound", type=float, default=1e-2)
+    p.add_argument("--scale", type=int, default=16)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+
+def _cmd_datasets(args) -> int:
+    from repro.data.registry import DATASETS
+    from repro.workflow.report import render_table
+
+    rows = [
+        {
+            "name": spec.name,
+            "domain": spec.domain,
+            "dimensions": " x ".join(str(s) for s in spec.full_shape),
+            "fields": ", ".join(f.name for f in spec.fields),
+            "field_mb": round(spec.full_field_megabytes, 1),
+        }
+        for spec in DATASETS.values()
+    ]
+    print(render_table(rows, title="Registered datasets"))
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.data.registry import load_field
+
+    arr = load_field(args.dataset, args.field, scale=args.scale, seed=args.seed)
+    np.save(args.output, arr)
+    print(f"wrote {args.output}: shape {arr.shape}, dtype {arr.dtype}, "
+          f"{arr.nbytes / 1e6:.1f} MB")
+    return 0
+
+
+def _cmd_compress(args) -> int:
+    from repro.compressors import ChunkedCompressor, get_compressor
+
+    arr = np.load(args.input)
+    if args.chunk_mb is not None:
+        cc = ChunkedCompressor(args.codec, max_chunk_bytes=int(args.chunk_mb * 1e6))
+        buf = cc.compress(arr, args.error_bound)
+        label = f"{args.codec} ({len(buf.chunks)} chunks)"
+    else:
+        buf = get_compressor(args.codec).compress(arr, args.error_bound)
+        label = args.codec
+    with open(args.output, "wb") as fh:
+        fh.write(buf.to_bytes())
+    print(f"{label}: {arr.nbytes} -> {buf.nbytes} bytes "
+          f"(ratio {buf.ratio:.2f}x, eb {args.error_bound:g})")
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    from repro.compressors import ChunkedBuffer, ChunkedCompressor, CompressedBuffer, get_compressor
+
+    with open(args.input, "rb") as fh:
+        blob = fh.read()
+    if blob[:4] == b"RPCK":
+        container = ChunkedBuffer.from_bytes(blob)
+        codec_name = container.chunks[0].codec
+        rec = ChunkedCompressor(codec_name).decompress(container)
+        eb = container.chunks[0].error_bound
+    else:
+        buf = CompressedBuffer.from_bytes(blob)
+        codec_name = buf.codec
+        rec = get_compressor(buf.codec).decompress(buf)
+        eb = buf.error_bound
+    np.save(args.output, rec)
+    print(f"wrote {args.output}: shape {rec.shape}, dtype {rec.dtype} "
+          f"(codec {codec_name}, eb {eb:g})")
+    return 0
+
+
+def _make_pipeline(curve_name: str, seed: int):
+    from repro.core.pipeline import TunedIOPipeline
+    from repro.hardware.powercurves import CalibratedPowerCurve, PhysicalPowerCurve
+    from repro.workflow.sweep import default_nodes
+
+    curve = {"calibrated": CalibratedPowerCurve, "physical": PhysicalPowerCurve}[
+        curve_name
+    ]()
+    return TunedIOPipeline(default_nodes(power_curve=curve, seed=seed))
+
+
+def _cmd_characterize(args) -> int:
+    from repro.core.persistence import ModelBundle
+    from repro.workflow.report import render_table
+    from repro.workflow.sweep import SweepConfig
+
+    pipe = _make_pipeline(args.curve, args.seed)
+    config = SweepConfig(
+        repeats=args.repeats,
+        frequency_stride=args.stride,
+        data_scale=args.scale,
+        seed=args.seed,
+    )
+    outcome = pipe.characterize(config)
+    bundle = ModelBundle.from_outcome(
+        outcome,
+        metadata={
+            "curve": args.curve,
+            "repeats": args.repeats,
+            "frequency_stride": args.stride,
+            "data_scale": args.scale,
+            "seed": args.seed,
+        },
+    )
+    bundle.save(args.output)
+    print(render_table(outcome.model_table("compression"),
+                       title="Compression power models (Table IV)"))
+    print()
+    print(render_table(outcome.model_table("transit"),
+                       title="Data-transit power models (Table V)"))
+    print(f"\nmodel bundle written to {args.output}")
+    if args.export_dir:
+        from repro.workflow.export import export_campaign
+
+        paths = export_campaign(
+            outcome, args.export_dir,
+            config_metadata={"curve": args.curve, "repeats": args.repeats,
+                             "frequency_stride": args.stride,
+                             "data_scale": args.scale, "seed": args.seed},
+        )
+        print(f"campaign artifacts exported to {args.export_dir} "
+              f"({len(paths)} files)")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.core.objectives import Objective, optimal_frequency
+    from repro.core.persistence import ModelBundle
+    from repro.core.tuning import PAPER_POLICY, recommend_from_models
+    from repro.hardware.cpu import get_cpu
+    from repro.workflow.report import render_table
+
+    bundle = ModelBundle.load(args.models)
+    rows = []
+    for arch, runtime in bundle.compression_runtime.items():
+        cpu = get_cpu(arch)
+        power = bundle.compression_power.get(arch.capitalize())
+        tran_power = bundle.transit_power.get(arch.capitalize())
+        tran_runtime = bundle.transit_runtime[arch]
+        for stage, pm, rm in (("compress", power, runtime),
+                              ("write", tran_power, tran_runtime)):
+            if pm is None:
+                continue
+            if args.policy == "eqn3":
+                rec = recommend_from_models(cpu, stage, pm, rm, PAPER_POLICY)
+                freq = rec.freq_ghz
+            else:
+                freq = optimal_frequency(pm, rm, cpu, Objective(args.objective))
+                rec = None
+            p_saving = 1.0 - float(pm.predict(freq)) / float(pm.predict(cpu.fmax_ghz))
+            slowdown = float(rm.predict(freq)) - 1.0
+            rows.append(
+                {
+                    "cpu": arch,
+                    "stage": stage,
+                    "policy": args.policy if args.policy == "eqn3"
+                    else f"optimal/{args.objective}",
+                    "freq_ghz": freq,
+                    "power_saving_pct": p_saving * 100,
+                    "slowdown_pct": slowdown * 100,
+                    "energy_saving_pct": (1 - (1 - p_saving) * (1 + slowdown)) * 100,
+                }
+            )
+    print(render_table(rows, title="Frequency recommendations"))
+    return 0
+
+
+def _cmd_dump(args) -> int:
+    from repro.compressors import get_compressor
+    from repro.core.persistence import ModelBundle
+    from repro.core.tuning import PAPER_POLICY
+    from repro.data.registry import load_field
+    from repro.hardware.cpu import get_cpu
+    from repro.hardware.node import SimulatedNode
+    from repro.hardware.workload import WorkloadKind
+    from repro.iosim.dumper import DataDumper
+
+    bundle = ModelBundle.load(args.models)
+    cpu = get_cpu(args.arch)
+    node = SimulatedNode(cpu, seed=0)
+    dumper = DataDumper(node)
+    arr = load_field(args.dataset, args.field, scale=args.scale)
+    codec = get_compressor(args.codec)
+    target = int(args.target_gb * 1e9)
+
+    base = dumper.dump(codec, arr, args.error_bound, target)
+    tuned = dumper.dump(
+        codec, arr, args.error_bound, target,
+        compress_freq_ghz=PAPER_POLICY.frequency_for(cpu, WorkloadKind.COMPRESS_SZ),
+        write_freq_ghz=PAPER_POLICY.frequency_for(cpu, WorkloadKind.WRITE),
+    )
+    saved = base.total_energy_j - tuned.total_energy_j
+    print(f"{args.target_gb:g} GB {args.codec} dump on {args.arch} "
+          f"(eb {args.error_bound:g}, ratio {base.compression_ratio:.2f}x):")
+    print(f"  base clock : {base.total_energy_j / 1e3:8.2f} kJ "
+          f"in {base.total_runtime_s:8.1f} s")
+    print(f"  Eqn. 3     : {tuned.total_energy_j / 1e3:8.2f} kJ "
+          f"in {tuned.total_runtime_s:8.1f} s")
+    print(f"  saved      : {saved / 1e3:8.2f} kJ "
+          f"({saved / base.total_energy_j:+.1%})")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    import importlib
+
+    from repro.experiments.context import ExperimentContext
+    from repro.workflow.sweep import SweepConfig
+
+    if args.name in ("table1", "table2", "table3"):
+        module = importlib.import_module(f"repro.experiments.{args.name}")
+        module.main()
+        return 0
+    ctx = ExperimentContext(
+        config=SweepConfig(
+            repeats=args.repeats,
+            frequency_stride=args.stride,
+            data_scale=args.scale,
+        )
+    )
+    if args.name.startswith("ext-"):
+        from repro.experiments import extensions
+
+        extensions.main(args.name, ctx)
+        return 0
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    module.main(ctx)
+    return 0
+
+
+def _cmd_advise(args) -> int:
+    from repro.compressors import get_compressor
+    from repro.core.advisor import ErrorBoundAdvisor
+    from repro.data.registry import load_field
+    from repro.workflow.report import render_table
+
+    arr = load_field(args.dataset, args.field, scale=args.scale)
+    advisor = ErrorBoundAdvisor(get_compressor(args.codec), arr)
+    print(render_table(advisor.table(),
+                       title=f"{args.codec} profile on {args.dataset}/{args.field}"))
+    if args.target_ratio is not None:
+        eb = advisor.bound_for_ratio(args.target_ratio)
+        print(f"\nbound for ratio >= {args.target_ratio:g}: eb = {eb:.3e}")
+    else:
+        eb = advisor.bound_for_psnr(args.target_psnr)
+        print(f"\nbound for PSNR >= {args.target_psnr:g} dB: eb = {eb:.3e}")
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from repro.compressors import SZCompressor
+    from repro.data.registry import load_field
+    from repro.hardware.cpu import get_cpu
+    from repro.hardware.node import SimulatedNode
+    from repro.workflow.campaign import CheckpointCampaign, run_campaign
+
+    cpu = get_cpu(args.arch)
+    node = SimulatedNode(cpu, seed=0)
+    arr = load_field("nyx", "velocity_x", scale=args.scale)
+    campaign = CheckpointCampaign(
+        snapshot_bytes=int(args.snapshot_gb * 1e9),
+        n_snapshots=args.snapshots,
+        compute_interval_s=args.interval_s,
+    )
+    base = run_campaign(node, SZCompressor(), arr, args.error_bound, campaign)
+    tuned = run_campaign(
+        node, SZCompressor(), arr, args.error_bound, campaign,
+        compress_freq_ghz=cpu.snap_frequency(0.875 * cpu.fmax_ghz),
+        write_freq_ghz=cpu.snap_frequency(0.85 * cpu.fmax_ghz),
+    )
+    print(f"{args.snapshots} snapshots x {args.snapshot_gb:g} GB on {args.arch} "
+          f"(eb {args.error_bound:g}):")
+    print(f"  I/O share of wall time : {base.io_time_fraction:.1%}")
+    print(f"  I/O energy, base clock : {base.io_energy_j / 1e3:8.1f} kJ")
+    print(f"  I/O energy, Eqn. 3     : {tuned.io_energy_j / 1e3:8.1f} kJ "
+          f"({1 - tuned.io_energy_j / base.io_energy_j:.1%} saved)")
+    print(f"  campaign wall penalty  : "
+          f"{tuned.total_wall_s / base.total_wall_s - 1:.2%}")
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    from repro.compressors import SZCompressor
+    from repro.data.registry import load_field
+    from repro.hardware.cpu import get_cpu
+    from repro.iosim.cluster import Cluster
+
+    cpu = get_cpu(args.arch)
+    cluster = Cluster(cpu, n_nodes=args.nodes, seed=0, repeats=3)
+    arr = load_field("nyx", "velocity_x", scale=args.scale)
+    per_node = int(args.per_node_gb * 1e9)
+    base = cluster.dump_all(SZCompressor(), arr, args.error_bound, per_node)
+    tuned = cluster.dump_all(
+        SZCompressor(), arr, args.error_bound, per_node,
+        compress_freq_ghz=cpu.snap_frequency(0.875 * cpu.fmax_ghz),
+        write_freq_ghz=cpu.snap_frequency(0.85 * cpu.fmax_ghz),
+    )
+    print(f"{args.nodes} x {args.per_node_gb:g} GB dump on {args.arch} "
+          f"(eb {args.error_bound:g}):")
+    print(f"  CPU-bound fraction of the write path: {base.cpu_bound_fraction:.2f}")
+    print(f"  aggregate write bandwidth: "
+          f"{base.aggregate_write_bandwidth_bps / 1e6:.0f} MB/s")
+    print(f"  cluster energy, base clock: {base.total_energy_j / 1e3:8.1f} kJ")
+    print(f"  cluster energy, Eqn. 3    : {tuned.total_energy_j / 1e3:8.1f} kJ "
+          f"({1 - tuned.total_energy_j / base.total_energy_j:.1%} saved)")
+    print(f"  makespan: {base.makespan_s:.0f} s -> {tuned.makespan_s:.0f} s")
+    return 0
+
+
+_HANDLERS = {
+    "datasets": _cmd_datasets,
+    "generate": _cmd_generate,
+    "compress": _cmd_compress,
+    "decompress": _cmd_decompress,
+    "characterize": _cmd_characterize,
+    "tune": _cmd_tune,
+    "dump": _cmd_dump,
+    "experiment": _cmd_experiment,
+    "advise": _cmd_advise,
+    "campaign": _cmd_campaign,
+    "cluster": _cmd_cluster,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except (ValueError, KeyError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

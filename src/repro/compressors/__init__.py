@@ -1,0 +1,47 @@
+"""Error-bounded lossy compressors: pure-NumPy SZ and ZFP reimplementations.
+
+Both codecs implement the :class:`~repro.compressors.base.Compressor`
+interface with an absolute error bound (SZ ABS mode / ZFP fixed-accuracy
+mode), matching the configurations the paper sweeps (Section III-A).
+"""
+
+from repro.compressors.base import (
+    Compressor,
+    CompressedBuffer,
+    CompressionError,
+    CorruptStreamError,
+    get_compressor,
+    available_compressors,
+)
+from repro.compressors.metrics import (
+    CompressionMetrics,
+    compression_ratio,
+    max_abs_error,
+    psnr,
+    evaluate,
+    verify_error_bound,
+)
+from repro.compressors.sz import SZCompressor
+from repro.compressors.zfp import ZFPCompressor
+from repro.compressors.lossless import LosslessCompressor
+from repro.compressors.chunked import ChunkedBuffer, ChunkedCompressor
+
+__all__ = [
+    "Compressor",
+    "CompressedBuffer",
+    "CompressionError",
+    "CorruptStreamError",
+    "get_compressor",
+    "available_compressors",
+    "CompressionMetrics",
+    "compression_ratio",
+    "max_abs_error",
+    "psnr",
+    "evaluate",
+    "verify_error_bound",
+    "SZCompressor",
+    "ZFPCompressor",
+    "LosslessCompressor",
+    "ChunkedBuffer",
+    "ChunkedCompressor",
+]

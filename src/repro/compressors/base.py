@@ -1,0 +1,208 @@
+"""Compressor interface shared by the SZ and ZFP reimplementations."""
+
+from __future__ import annotations
+
+import abc
+import struct
+from dataclasses import dataclass
+from typing import Dict, Tuple, Type
+
+import numpy as np
+
+from repro.utils.validation import as_float_array, check_positive
+
+__all__ = [
+    "CompressionError",
+    "CorruptStreamError",
+    "CompressedBuffer",
+    "Compressor",
+    "register_compressor",
+    "get_compressor",
+    "available_compressors",
+]
+
+_MAGIC = b"RPRC"
+_HEADER_FMT = "<4s8sBBd"  # magic, codec name, ndim, dtype char, error bound
+
+
+class CompressionError(ValueError):
+    """Raised when input data cannot be compressed (NaN/inf, bad bound...)."""
+
+
+class CorruptStreamError(ValueError):
+    """Raised when a compressed buffer fails structural validation."""
+
+
+@dataclass(frozen=True)
+class CompressedBuffer:
+    """A self-describing compressed payload.
+
+    Attributes
+    ----------
+    codec:
+        Registered codec name (``"sz"`` or ``"zfp"``).
+    payload:
+        Codec-specific byte stream.
+    shape:
+        Original array shape.
+    dtype:
+        Original array dtype (``float32`` or ``float64``).
+    error_bound:
+        Absolute error bound the payload was produced with.
+    """
+
+    codec: str
+    payload: bytes
+    shape: Tuple[int, ...]
+    dtype: np.dtype
+    error_bound: float
+
+    @property
+    def nbytes(self) -> int:
+        """Serialized size in bytes (header + payload)."""
+        return len(self.to_bytes())
+
+    @property
+    def original_nbytes(self) -> int:
+        """Size of the uncompressed array in bytes."""
+        return int(np.prod(self.shape, dtype=np.int64)) * self.dtype.itemsize
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio ``original / compressed``."""
+        return self.original_nbytes / max(self.nbytes, 1)
+
+    def to_bytes(self) -> bytes:
+        """Serialize header + payload to a flat byte string."""
+        name = self.codec.encode("ascii")
+        if len(name) > 8:
+            raise ValueError(f"codec name too long: {self.codec!r}")
+        dtype_char = {np.dtype(np.float32): b"f", np.dtype(np.float64): b"d"}[self.dtype]
+        head = struct.pack(
+            _HEADER_FMT,
+            _MAGIC,
+            name.ljust(8, b"\0"),
+            len(self.shape),
+            dtype_char[0],
+            self.error_bound,
+        )
+        dims = struct.pack(f"<{len(self.shape)}q", *self.shape)
+        return head + dims + self.payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CompressedBuffer":
+        """Parse a buffer previously produced by :meth:`to_bytes`."""
+        head_size = struct.calcsize(_HEADER_FMT)
+        if len(data) < head_size:
+            raise CorruptStreamError("buffer shorter than header")
+        magic, name, ndim, dtype_char, bound = struct.unpack(
+            _HEADER_FMT, data[:head_size]
+        )
+        if magic != _MAGIC:
+            raise CorruptStreamError(f"bad magic {magic!r}")
+        dims_size = 8 * ndim
+        if len(data) < head_size + dims_size:
+            raise CorruptStreamError("buffer truncated in shape table")
+        shape = struct.unpack(f"<{ndim}q", data[head_size : head_size + dims_size])
+        dtype = {ord("f"): np.dtype(np.float32), ord("d"): np.dtype(np.float64)}.get(
+            dtype_char
+        )
+        if dtype is None:
+            raise CorruptStreamError(f"unknown dtype tag {dtype_char!r}")
+        return cls(
+            codec=name.rstrip(b"\0").decode("ascii"),
+            payload=data[head_size + dims_size :],
+            shape=tuple(int(s) for s in shape),
+            dtype=dtype,
+            error_bound=float(bound),
+        )
+
+
+class Compressor(abc.ABC):
+    """Abstract error-bounded lossy compressor.
+
+    Subclasses implement :meth:`_encode` / :meth:`_decode`; the base
+    class handles validation, headers and the public round-trip API.
+    """
+
+    #: Registered short name, set by subclasses.
+    name: str = ""
+
+    @abc.abstractmethod
+    def _encode(self, data: np.ndarray, error_bound: float) -> bytes:
+        """Produce the codec-specific payload for validated input."""
+
+    @abc.abstractmethod
+    def _decode(
+        self, payload: bytes, shape: Tuple[int, ...], dtype: np.dtype, error_bound: float
+    ) -> np.ndarray:
+        """Reconstruct the array from a codec-specific payload."""
+
+    def compress(self, data, error_bound: float) -> CompressedBuffer:
+        """Compress *data* so that ``max |x - x'| <= error_bound``.
+
+        Parameters
+        ----------
+        data:
+            Array-like of float32/float64 values (other dtypes are
+            promoted to float64), 1-D to 4-D, finite.
+        error_bound:
+            Absolute error bound (SZ ABS mode / ZFP fixed accuracy).
+        """
+        check_positive(error_bound, "error_bound")
+        arr = as_float_array(data, "data")
+        if arr.ndim > 4:
+            raise CompressionError(f"arrays above 4-D are unsupported, got {arr.ndim}-D")
+        if not np.all(np.isfinite(arr)):
+            raise CompressionError("data must be finite (no NaN/inf)")
+        payload = self._encode(arr, float(error_bound))
+        return CompressedBuffer(
+            codec=self.name,
+            payload=payload,
+            shape=arr.shape,
+            dtype=arr.dtype,
+            error_bound=float(error_bound),
+        )
+
+    def decompress(self, buffer: CompressedBuffer) -> np.ndarray:
+        """Reconstruct the array from a :class:`CompressedBuffer`."""
+        if buffer.codec != self.name:
+            raise CorruptStreamError(
+                f"buffer was produced by codec {buffer.codec!r}, not {self.name!r}"
+            )
+        out = self._decode(
+            buffer.payload, buffer.shape, buffer.dtype, buffer.error_bound
+        )
+        return out.reshape(buffer.shape).astype(buffer.dtype, copy=False)
+
+    def roundtrip(self, data, error_bound: float):
+        """Compress then decompress; returns ``(buffer, reconstruction)``."""
+        buf = self.compress(data, error_bound)
+        return buf, self.decompress(buf)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+_REGISTRY: Dict[str, Type[Compressor]] = {}
+
+
+def register_compressor(cls: Type[Compressor]) -> Type[Compressor]:
+    """Class decorator registering a compressor under ``cls.name``."""
+    if not cls.name:
+        raise ValueError("compressor classes must define a non-empty name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_compressor(name: str) -> Compressor:
+    """Instantiate a registered compressor (``"sz"`` or ``"zfp"``)."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown compressor {name!r}; available: {available_compressors()}")
+    return _REGISTRY[key]()
+
+
+def available_compressors() -> Tuple[str, ...]:
+    """Names of all registered compressors."""
+    return tuple(sorted(_REGISTRY))

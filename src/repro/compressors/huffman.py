@@ -1,0 +1,278 @@
+"""Canonical Huffman coding with vectorized encode *and* decode.
+
+SZ's entropy stage Huffman-codes quantization codes for arrays with
+millions of elements, so a per-symbol Python loop is not an option
+(guides: no per-element Python loops on hot paths). Encoding flattens a
+masked bit matrix; decoding precomputes the code length at every bit
+position through a 2^L lookup table and extracts the symbol chain with
+:func:`repro.utils.chains.follow_chain` pointer doubling.
+
+Codes are canonical (assigned in (length, symbol) order), so only the
+symbol table and code lengths need to be serialized.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.utils.bitio import BitReader, BitWriter
+from repro.utils.chains import follow_chain
+
+__all__ = ["HuffmanCodec", "build_code_lengths"]
+
+_ENCODE_CHUNK = 1 << 20
+
+
+def build_code_lengths(
+    frequencies: Dict[int, int], max_code_length: int = 16
+) -> Dict[int, int]:
+    """Huffman code lengths for a frequency table, limited to *max_code_length*.
+
+    Uses the classic heap construction; if the resulting tree is deeper
+    than the limit, frequencies are repeatedly halved (floored at 1) and
+    the tree rebuilt — a standard practical length-limiting scheme that
+    converges to near-uniform lengths.
+    """
+    if not frequencies:
+        raise ValueError("frequency table must be non-empty")
+    if any(f <= 0 for f in frequencies.values()):
+        raise ValueError("frequencies must be positive")
+    nsym = len(frequencies)
+    if nsym > (1 << max_code_length):
+        raise ValueError(
+            f"{nsym} symbols cannot be coded within {max_code_length}-bit codes"
+        )
+    if nsym == 1:
+        return {next(iter(frequencies)): 1}
+
+    freqs = dict(frequencies)
+    while True:
+        # Heap items: (freq, tiebreak, {symbol: depth}).
+        heap = [(f, i, {s: 0}) for i, (s, f) in enumerate(sorted(freqs.items()))]
+        heapq.heapify(heap)
+        counter = len(heap)
+        while len(heap) > 1:
+            f1, _, d1 = heapq.heappop(heap)
+            f2, _, d2 = heapq.heappop(heap)
+            merged = {s: d + 1 for s, d in d1.items()}
+            merged.update({s: d + 1 for s, d in d2.items()})
+            heapq.heappush(heap, (f1 + f2, counter, merged))
+            counter += 1
+        lengths = heap[0][2]
+        if max(lengths.values()) <= max_code_length:
+            return lengths
+        freqs = {s: max(1, f // 2) for s, f in freqs.items()}
+
+
+class HuffmanCodec:
+    """Canonical Huffman codec over an ``int64`` symbol alphabet."""
+
+    def __init__(self, symbols: Sequence[int], lengths: Sequence[int]) -> None:
+        """Build the canonical code from per-symbol code lengths.
+
+        *symbols* and *lengths* are parallel sequences; symbols must be
+        distinct. Kraft completeness is validated (a single-symbol
+        alphabet, whose code is the 1-bit string ``0``, is the one
+        permitted incomplete code).
+        """
+        syms = np.asarray(symbols, dtype=np.int64).ravel()
+        lens = np.asarray(lengths, dtype=np.int64).ravel()
+        if syms.size == 0:
+            raise ValueError("alphabet must be non-empty")
+        if syms.size != lens.size:
+            raise ValueError("symbols and lengths must be parallel")
+        if np.unique(syms).size != syms.size:
+            raise ValueError("symbols must be distinct")
+        if np.any(lens <= 0) or np.any(lens > 32):
+            raise ValueError("code lengths must lie in [1, 32]")
+
+        kraft = float(np.sum(2.0 ** (-lens.astype(np.float64))))
+        if syms.size > 1 and abs(kraft - 1.0) > 1e-9:
+            raise ValueError(f"code lengths violate Kraft equality (sum={kraft})")
+
+        # Canonical assignment: sort by (length, symbol), codes count up.
+        order = np.lexsort((syms, lens))
+        syms, lens = syms[order], lens[order]
+        max_len = int(lens.max())
+        codes = np.zeros(syms.size, dtype=np.int64)
+        code = 0
+        prev_len = int(lens[0])
+        for i in range(syms.size):
+            code <<= int(lens[i]) - prev_len
+            codes[i] = code
+            prev_len = int(lens[i])
+            code += 1
+
+        self._max_len = max_len
+        # Encoder view: sorted by symbol for searchsorted mapping.
+        sym_order = np.argsort(syms)
+        self._symbols_sorted = syms[sym_order]
+        self._enc_lengths = lens[sym_order]
+        self._enc_codes = codes[sym_order]
+        # Decoder view: full prefix table of 2^max_len entries.
+        starts = codes << (max_len - lens)
+        counts = np.int64(1) << (max_len - lens)
+        self._dec_symbol = np.repeat(syms, counts)
+        self._dec_length = np.repeat(lens, counts)
+        if syms.size == 1:
+            # Incomplete single-symbol code: pad the table's second half.
+            pad = (1 << max_len) - self._dec_symbol.size
+            self._dec_symbol = np.concatenate(
+                [self._dec_symbol, np.full(pad, syms[0], dtype=np.int64)]
+            )
+            self._dec_length = np.concatenate(
+                [self._dec_length, np.full(pad, lens[0], dtype=np.int64)]
+            )
+        if self._dec_symbol.size != (1 << max_len):
+            raise ValueError("internal error: prefix table incomplete")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_frequencies(
+        cls, frequencies: Dict[int, int], max_code_length: int = 16
+    ) -> "HuffmanCodec":
+        """Build from a ``{symbol: count}`` table."""
+        lengths = build_code_lengths(frequencies, max_code_length)
+        syms = list(lengths)
+        return cls(syms, [lengths[s] for s in syms])
+
+    @classmethod
+    def from_data(cls, data, max_code_length: int = 16) -> "HuffmanCodec":
+        """Build from observed symbols (the codec's training data)."""
+        arr = np.asarray(data, dtype=np.int64).ravel()
+        if arr.size == 0:
+            raise ValueError("data must be non-empty")
+        values, counts = np.unique(arr, return_counts=True)
+        return cls.from_frequencies(
+            dict(zip(values.tolist(), counts.tolist())), max_code_length
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def alphabet(self) -> np.ndarray:
+        """Symbols the codec can encode, sorted ascending."""
+        return self._symbols_sorted.copy()
+
+    @property
+    def max_code_length(self) -> int:
+        """Longest code length in bits."""
+        return self._max_len
+
+    def code_length(self, symbol: int) -> int:
+        """Length in bits of *symbol*'s code."""
+        idx = self._lookup(np.array([symbol], dtype=np.int64))
+        return int(self._enc_lengths[idx[0]])
+
+    def encoded_bit_length(self, data) -> int:
+        """Exact number of bits :meth:`encode_to` would emit for *data*."""
+        arr = np.asarray(data, dtype=np.int64).ravel()
+        if arr.size == 0:
+            return 0
+        total = 0
+        for lo in range(0, arr.size, _ENCODE_CHUNK):
+            idx = self._lookup(arr[lo : lo + _ENCODE_CHUNK])
+            total += int(self._enc_lengths[idx].sum())
+        return total
+
+    def _lookup(self, arr: np.ndarray) -> np.ndarray:
+        idx = np.searchsorted(self._symbols_sorted, arr)
+        bad = (idx >= self._symbols_sorted.size) | (
+            self._symbols_sorted[np.minimum(idx, self._symbols_sorted.size - 1)] != arr
+        )
+        if np.any(bad):
+            missing = arr[bad][0]
+            raise KeyError(f"symbol {int(missing)} is not in the codec alphabet")
+        return idx
+
+    # ------------------------------------------------------------------
+    # Encode / decode
+    # ------------------------------------------------------------------
+
+    def encode_to(self, writer: BitWriter, data) -> int:
+        """Append the code bits of *data* to *writer*; returns bit count.
+
+        Vectorized: per chunk, codes are left-aligned into a
+        ``(n, max_len)`` bit matrix and flattened through a length mask,
+        which preserves symbol order row by row.
+        """
+        arr = np.asarray(data, dtype=np.int64).ravel()
+        if arr.size == 0:
+            return 0
+        total_bits = 0
+        max_len = self._max_len
+        col = np.arange(max_len, dtype=np.int64)
+        for lo in range(0, arr.size, _ENCODE_CHUNK):
+            chunk = arr[lo : lo + _ENCODE_CHUNK]
+            idx = self._lookup(chunk)
+            lens = self._enc_lengths[idx]
+            codes = self._enc_codes[idx]
+            aligned = codes << (max_len - lens)
+            bits = ((aligned[:, None] >> (max_len - 1 - col)[None, :]) & 1).astype(
+                np.uint8
+            )
+            mask = col[None, :] < lens[:, None]
+            writer.write_bits_array(bits[mask])
+            total_bits += int(lens.sum())
+        return total_bits
+
+    def decode(self, bits: np.ndarray, count: int) -> np.ndarray:
+        """Decode *count* symbols from a 0/1 bit array.
+
+        The bit array must contain exactly the encoded stream (no
+        trailing payload); byte-padding zeros past the last code are
+        fine because the chain never visits them.
+        """
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        bits = np.asarray(bits, dtype=np.uint8).ravel()
+        nbits = bits.size
+        if nbits == 0:
+            raise ValueError("empty bit stream but count > 0")
+        max_len = self._max_len
+        padded = np.concatenate([bits, np.zeros(max_len, dtype=np.uint8)])
+        # w[i] = integer value of the max_len-bit window starting at i.
+        w = np.zeros(nbits, dtype=np.int64)
+        for j in range(max_len):
+            w |= padded[j : j + nbits].astype(np.int64) << (max_len - 1 - j)
+        lengths_at = self._dec_length[w]
+        jumps = np.arange(nbits, dtype=np.int64) + lengths_at
+        chain = follow_chain(jumps, 0, count)
+        return self._dec_symbol[w[chain]]
+
+    def decode_from(self, reader: BitReader, nbits: int, count: int) -> np.ndarray:
+        """Consume *nbits* bits from *reader* and decode *count* symbols."""
+        bits = reader.read_bits_array(nbits)
+        return self.decode(bits, count)
+
+    # ------------------------------------------------------------------
+    # Codebook serialization
+    # ------------------------------------------------------------------
+
+    def serialize_to(self, writer: BitWriter) -> None:
+        """Write the codebook (symbol values + code lengths)."""
+        n = self._symbols_sorted.size
+        writer.write_uint(n, 32)
+        # Symbols stored zigzag so negative quantization codes fit uint64.
+        zz = (self._symbols_sorted << 1) ^ (self._symbols_sorted >> 63)
+        writer.write_uint_array(zz.astype(np.uint64), 64)
+        writer.write_uint_array(self._enc_lengths.astype(np.uint64), 8)
+
+    @classmethod
+    def deserialize_from(cls, reader: BitReader) -> "HuffmanCodec":
+        """Read a codebook written by :meth:`serialize_to`."""
+        n = reader.read_uint(32)
+        if n == 0:
+            raise ValueError("serialized codebook is empty")
+        zz = reader.read_uint_array(n, 64).astype(np.int64)
+        syms = (zz >> 1) ^ -(zz & 1)
+        lens = reader.read_uint_array(n, 8).astype(np.int64)
+        return cls(syms, lens)

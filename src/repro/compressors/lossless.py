@@ -1,0 +1,73 @@
+"""Lossless baseline compressor.
+
+The paper motivates lossy compression by its advantage over lossless
+codecs on floating-point data (Section I). This gzip-style baseline
+implements the same :class:`~repro.compressors.base.Compressor`
+interface — the error bound is accepted but the reconstruction is
+bit-exact — so comparisons like ``examples/baseline_comparison.py`` can
+quantify the gap on the same fields.
+
+A byte-transpose (shuffle) filter is applied before zlib: grouping the
+k-th byte of every float together exposes the slowly-varying exponent
+bytes to the LZ77 stage, the standard trick (HDF5 shuffle / blosc) that
+makes general-purpose codecs workable on scientific arrays.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Tuple
+
+import numpy as np
+
+from repro.compressors.base import Compressor, CorruptStreamError, register_compressor
+
+__all__ = ["LosslessCompressor"]
+
+
+@register_compressor
+class LosslessCompressor(Compressor):
+    """zlib + byte-shuffle lossless baseline (error bound: exactly 0)."""
+
+    name = "gzip"
+
+    def __init__(self, zlib_level: int = 6, shuffle: bool = True):
+        if not 0 <= zlib_level <= 9:
+            raise ValueError(f"zlib_level must be in [0, 9], got {zlib_level}")
+        self.zlib_level = int(zlib_level)
+        self.shuffle = bool(shuffle)
+
+    def _encode(self, data: np.ndarray, error_bound: float) -> bytes:
+        flat = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        itemsize = data.dtype.itemsize
+        if self.shuffle:
+            flat = np.ascontiguousarray(
+                flat.reshape(-1, itemsize).T
+            ).reshape(-1)
+        mode = b"S" if self.shuffle else b"R"
+        return mode + zlib.compress(flat.tobytes(), self.zlib_level)
+
+    def _decode(
+        self, payload: bytes, shape: Tuple[int, ...], dtype: np.dtype, error_bound: float
+    ) -> np.ndarray:
+        if len(payload) < 1:
+            raise CorruptStreamError("empty lossless payload")
+        mode, body = payload[:1], payload[1:]
+        if mode not in (b"S", b"R"):
+            raise CorruptStreamError(f"unknown lossless mode {mode!r}")
+        try:
+            raw = zlib.decompress(body)
+        except zlib.error as exc:
+            raise CorruptStreamError(f"zlib stage failed: {exc}") from exc
+        count = int(np.prod(shape, dtype=np.int64))
+        itemsize = dtype.itemsize
+        if len(raw) != count * itemsize:
+            raise CorruptStreamError(
+                f"payload decodes to {len(raw)} bytes, expected {count * itemsize}"
+            )
+        flat = np.frombuffer(raw, dtype=np.uint8)
+        if mode == b"S":
+            flat = np.ascontiguousarray(
+                flat.reshape(itemsize, -1).T
+            ).reshape(-1)
+        return flat.view(dtype).copy()

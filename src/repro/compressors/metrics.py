@@ -1,0 +1,98 @@
+"""Compression quality metrics: ratio, max error, PSNR, bound verification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compressors.base import CompressedBuffer
+
+__all__ = [
+    "compression_ratio",
+    "max_abs_error",
+    "psnr",
+    "CompressionMetrics",
+    "evaluate",
+    "verify_error_bound",
+]
+
+
+def _paired(original, reconstructed):
+    orig = np.asarray(original, dtype=np.float64)
+    rec = np.asarray(reconstructed, dtype=np.float64)
+    if orig.shape != rec.shape:
+        raise ValueError(
+            f"original and reconstruction shapes differ: {orig.shape} vs {rec.shape}"
+        )
+    if orig.size == 0:
+        raise ValueError("arrays must be non-empty")
+    return orig, rec
+
+
+def compression_ratio(original_nbytes: int, compressed_nbytes: int) -> float:
+    """``original / compressed`` byte ratio; higher is better."""
+    if original_nbytes <= 0 or compressed_nbytes <= 0:
+        raise ValueError("byte counts must be positive")
+    return original_nbytes / compressed_nbytes
+
+def max_abs_error(original, reconstructed) -> float:
+    """Maximum pointwise absolute error."""
+    orig, rec = _paired(original, reconstructed)
+    return float(np.max(np.abs(orig - rec)))
+
+
+def psnr(original, reconstructed) -> float:
+    """Peak signal-to-noise ratio in dB over the data's value range.
+
+    Returns ``inf`` for an exact reconstruction and ``-inf`` when the
+    original is constant but the reconstruction differs.
+    """
+    orig, rec = _paired(original, reconstructed)
+    mse = float(np.mean((orig - rec) ** 2))
+    value_range = float(np.max(orig) - np.min(orig))
+    if mse == 0.0:
+        return float("inf")
+    if value_range == 0.0:
+        return float("-inf")
+    return 10.0 * np.log10(value_range**2 / mse)
+
+
+@dataclass(frozen=True)
+class CompressionMetrics:
+    """Quality/size summary for one compression run."""
+
+    ratio: float
+    max_error: float
+    psnr_db: float
+    error_bound: float
+    original_nbytes: int
+    compressed_nbytes: int
+
+    @property
+    def bound_respected(self) -> bool:
+        """Whether the reconstruction stays within the error bound."""
+        return self.max_error <= self.error_bound * (1.0 + 1e-9)
+
+
+def evaluate(
+    original, reconstructed, buffer: CompressedBuffer
+) -> CompressionMetrics:
+    """Compute the full metrics bundle for a round trip."""
+    return CompressionMetrics(
+        ratio=compression_ratio(buffer.original_nbytes, buffer.nbytes),
+        max_error=max_abs_error(original, reconstructed),
+        psnr_db=psnr(original, reconstructed),
+        error_bound=buffer.error_bound,
+        original_nbytes=buffer.original_nbytes,
+        compressed_nbytes=buffer.nbytes,
+    )
+
+
+def verify_error_bound(original, reconstructed, error_bound: float) -> None:
+    """Raise ``AssertionError`` if the bound is violated (test helper)."""
+    err = max_abs_error(original, reconstructed)
+    if err > error_bound * (1.0 + 1e-9):
+        raise AssertionError(
+            f"error bound violated: max |x - x'| = {err:.3e} > {error_bound:.3e}"
+        )

@@ -1,0 +1,20 @@
+"""SZ-style error-bounded lossy compressor (pure NumPy).
+
+Pipeline (matching SZ2's stages, Section III-A of the paper): Lorenzo
+prediction, linear error-bounded quantization, Huffman coding of the
+quantization codes, and a final lossless (zlib) stage. See DESIGN.md §6
+for the grid-equivalence argument that lets every stage vectorize while
+preserving the ``max |x - x'| <= eb`` guarantee.
+"""
+
+from repro.compressors.sz.quantizer import GridQuantizer, QuantizationPlan
+from repro.compressors.sz.predictor import lorenzo_residual, lorenzo_reconstruct
+from repro.compressors.sz.codec import SZCompressor
+
+__all__ = [
+    "GridQuantizer",
+    "QuantizationPlan",
+    "lorenzo_residual",
+    "lorenzo_reconstruct",
+    "SZCompressor",
+]

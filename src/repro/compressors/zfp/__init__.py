@@ -1,0 +1,38 @@
+"""ZFP-style fixed-accuracy lossy compressor (pure NumPy).
+
+Pipeline per Lindstrom 2014: partition into 4^d blocks, per-block
+common-exponent fixed-point conversion, the ZFP orthogonal lifting
+transform applied separably, negabinary mapping, and bit-plane coding
+truncated at the plane implied by the absolute tolerance. All stages are
+vectorized *across blocks*, so per-block Python overhead is O(#distinct
+plane counts), not O(#blocks).
+"""
+
+from repro.compressors.zfp.blocks import BlockGrid, partition, unpartition
+from repro.compressors.zfp.fixedpoint import (
+    block_exponents,
+    to_fixed_point,
+    from_fixed_point,
+)
+from repro.compressors.zfp.transform import (
+    forward_transform,
+    inverse_transform,
+    sequency_order,
+)
+from repro.compressors.zfp.embedded import int_to_negabinary, negabinary_to_int
+from repro.compressors.zfp.codec import ZFPCompressor
+
+__all__ = [
+    "BlockGrid",
+    "partition",
+    "unpartition",
+    "block_exponents",
+    "to_fixed_point",
+    "from_fixed_point",
+    "forward_transform",
+    "inverse_transform",
+    "sequency_order",
+    "int_to_negabinary",
+    "negabinary_to_int",
+    "ZFPCompressor",
+]

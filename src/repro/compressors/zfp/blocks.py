@@ -1,0 +1,89 @@
+"""Partitioning of d-dimensional arrays into 4^d blocks.
+
+ZFP operates on 4x4 (2-D), 4x4x4 (3-D)... blocks. Edge blocks are
+padded by edge replication (like ZFP's pad-with-last-value), which never
+enlarges the value range, so error analysis is unaffected.
+
+The reshape/transpose dance keeps everything a bulk NumPy operation:
+pad to multiples of 4, split every axis into (n/4, 4), move all the
+block-local axes to the back, and flatten to ``(nblocks, 4**d)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["BlockGrid", "partition", "unpartition", "BLOCK_EDGE"]
+
+BLOCK_EDGE = 4
+
+
+@dataclass(frozen=True)
+class BlockGrid:
+    """Geometry linking an array to its ``(nblocks, 4**d)`` block matrix."""
+
+    original_shape: Tuple[int, ...]
+    padded_shape: Tuple[int, ...]
+
+    @property
+    def ndim(self) -> int:
+        return len(self.original_shape)
+
+    @property
+    def blocks_per_axis(self) -> Tuple[int, ...]:
+        return tuple(s // BLOCK_EDGE for s in self.padded_shape)
+
+    @property
+    def nblocks(self) -> int:
+        return int(np.prod(self.blocks_per_axis, dtype=np.int64))
+
+    @property
+    def block_size(self) -> int:
+        return BLOCK_EDGE**self.ndim
+
+
+def partition(data: np.ndarray) -> Tuple[np.ndarray, BlockGrid]:
+    """Split *data* into blocks; returns ``(blocks, grid)``.
+
+    ``blocks`` has shape ``(nblocks, 4**d)`` with block-local elements in
+    C order, and shares no memory with *data*.
+    """
+    arr = np.asarray(data)
+    if arr.ndim < 1 or arr.ndim > 4:
+        raise ValueError(f"ZFP blocks support 1-D to 4-D arrays, got {arr.ndim}-D")
+    pad = [(0, (-s) % BLOCK_EDGE) for s in arr.shape]
+    padded = np.pad(arr, pad, mode="edge")
+    grid = BlockGrid(original_shape=arr.shape, padded_shape=padded.shape)
+
+    d = arr.ndim
+    split_shape = []
+    for s in padded.shape:
+        split_shape.extend([s // BLOCK_EDGE, BLOCK_EDGE])
+    work = padded.reshape(split_shape)
+    # Axes 0,2,4,... index blocks; 1,3,5,... index within-block offsets.
+    order = list(range(0, 2 * d, 2)) + list(range(1, 2 * d, 2))
+    work = work.transpose(order)
+    return np.ascontiguousarray(work.reshape(grid.nblocks, grid.block_size)), grid
+
+
+def unpartition(blocks: np.ndarray, grid: BlockGrid) -> np.ndarray:
+    """Invert :func:`partition`, dropping the replication padding."""
+    blocks = np.asarray(blocks)
+    if blocks.shape != (grid.nblocks, grid.block_size):
+        raise ValueError(
+            f"blocks shape {blocks.shape} does not match grid "
+            f"({grid.nblocks}, {grid.block_size})"
+        )
+    d = grid.ndim
+    per_axis = grid.blocks_per_axis
+    work = blocks.reshape(per_axis + (BLOCK_EDGE,) * d)
+    # Interleave block axes with within-block axes back to spatial order.
+    order = []
+    for i in range(d):
+        order.extend([i, d + i])
+    work = work.transpose(order).reshape(grid.padded_shape)
+    slices = tuple(slice(0, s) for s in grid.original_shape)
+    return np.ascontiguousarray(work[slices])

@@ -1,0 +1,77 @@
+"""Per-block common-exponent fixed-point conversion.
+
+Each ZFP block is normalized by the power of two just above its largest
+magnitude (``max|x| < 2**e``) and scaled to signed integers with ``q``
+fractional bits, so every block uses its full integer dynamic range.
+Conversion error is half an integer ulp, i.e. ``2**(e - q - 1)`` in real
+units — far below any tolerance the codec accepts (see codec guard).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "PRECISION_F32",
+    "PRECISION_F64",
+    "ZERO_EXPONENT",
+    "block_exponents",
+    "to_fixed_point",
+    "from_fixed_point",
+]
+
+#: Fractional bits used for float32 / float64 blocks. Chosen so the
+#: transformed coefficients (growth < 2**(d+1)) plus the negabinary sign
+#: bit stay inside int64 for d <= 4.
+PRECISION_F32 = 30
+PRECISION_F64 = 52
+
+#: Sentinel exponent marking an all-zero block (no bits coded).
+ZERO_EXPONENT = -(2**14)
+
+
+def precision_for(dtype) -> int:
+    """Fixed-point fractional bits used for the given float dtype."""
+    dt = np.dtype(dtype)
+    if dt == np.float32:
+        return PRECISION_F32
+    if dt == np.float64:
+        return PRECISION_F64
+    raise ValueError(f"unsupported dtype {dt}")
+
+
+def block_exponents(blocks: np.ndarray) -> np.ndarray:
+    """Per-block exponent ``e`` with ``max|block| < 2**e``.
+
+    All-zero blocks get :data:`ZERO_EXPONENT`.
+    """
+    blocks = np.asarray(blocks, dtype=np.float64)
+    if blocks.ndim != 2:
+        raise ValueError(f"blocks must be 2-D (nblocks, block_size), got {blocks.ndim}-D")
+    maxabs = np.max(np.abs(blocks), axis=1)
+    mant, exp = np.frexp(maxabs)  # maxabs = mant * 2**exp, mant in [0.5, 1)
+    exp = exp.astype(np.int64)
+    return np.where(maxabs == 0.0, np.int64(ZERO_EXPONENT), exp)
+
+
+def to_fixed_point(blocks: np.ndarray, exponents: np.ndarray, precision: int) -> np.ndarray:
+    """Scale blocks to int64: ``round(x * 2**(precision - e))``.
+
+    Zero-exponent blocks map to zero. Values satisfy ``|i| <= 2**precision``.
+    """
+    blocks = np.asarray(blocks, dtype=np.float64)
+    exponents = np.asarray(exponents, dtype=np.int64)
+    scale = np.ldexp(1.0, (precision - exponents).clip(-1022, 1022))[:, None]
+    fixed = np.rint(blocks * scale).astype(np.int64)
+    fixed[exponents == ZERO_EXPONENT] = 0
+    return fixed
+
+
+def from_fixed_point(fixed: np.ndarray, exponents: np.ndarray, precision: int) -> np.ndarray:
+    """Invert :func:`to_fixed_point` (float64 output)."""
+    fixed = np.asarray(fixed, dtype=np.float64)
+    exponents = np.asarray(exponents, dtype=np.int64)
+    scale = np.ldexp(1.0, (exponents - precision).clip(-1022, 1022))[:, None]
+    out = fixed * scale
+    out[exponents == ZERO_EXPONENT] = 0.0
+    return out

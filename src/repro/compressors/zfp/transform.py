@@ -1,0 +1,117 @@
+"""The ZFP block transform: separable integer lifting, applied per axis.
+
+The forward/inverse step pairs follow zfp's ``fwd_lift`` / ``inv_lift``
+(Lindstrom 2014). Like the original, the integer lifting is *near*
+lossless: each inverse step can be off by one integer ulp (the bit
+dropped by an arithmetic shift), so a round trip reproduces inputs to
+within a small constant in integer units — absorbed by the codec's
+tolerance budget and pinned down by property tests.
+
+Everything operates on a ``(nblocks, 4**d)`` int64 matrix at once; the
+lifting touches strided column views, so the work is O(nblocks) NumPy
+kernels with zero per-block Python cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compressors.zfp.blocks import BLOCK_EDGE
+
+__all__ = ["forward_transform", "inverse_transform", "sequency_order"]
+
+
+def _as_block_tensor(blocks: np.ndarray, ndim: int) -> np.ndarray:
+    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
+    if blocks.ndim != 2 or blocks.shape[1] != BLOCK_EDGE**ndim:
+        raise ValueError(
+            f"blocks must have shape (nblocks, {BLOCK_EDGE**ndim}) for ndim={ndim}, "
+            f"got {blocks.shape}"
+        )
+    return blocks.reshape((blocks.shape[0],) + (BLOCK_EDGE,) * ndim)
+
+
+def _fwd_lift(t: np.ndarray, axis: int) -> None:
+    """zfp forward lifting along *axis* of a block tensor, in place."""
+    sl = [slice(None)] * t.ndim
+
+    def col(i):
+        sl[axis] = i
+        return tuple(sl)
+
+    x = t[col(0)].copy()
+    y = t[col(1)].copy()
+    z = t[col(2)].copy()
+    w = t[col(3)].copy()
+
+    x += w; x >>= 1; w -= x
+    z += y; z >>= 1; y -= z
+    x += z; x >>= 1; z -= x
+    w += y; w >>= 1; y -= w
+    w += y >> 1; y -= w >> 1
+
+    t[col(0)] = x
+    t[col(1)] = y
+    t[col(2)] = z
+    t[col(3)] = w
+
+
+def _inv_lift(t: np.ndarray, axis: int) -> None:
+    """zfp inverse lifting along *axis* of a block tensor, in place."""
+    sl = [slice(None)] * t.ndim
+
+    def col(i):
+        sl[axis] = i
+        return tuple(sl)
+
+    x = t[col(0)].copy()
+    y = t[col(1)].copy()
+    z = t[col(2)].copy()
+    w = t[col(3)].copy()
+
+    y += w >> 1; w -= y >> 1
+    y += w; w <<= 1; w -= y
+    z += x; x <<= 1; x -= z
+    y += z; z <<= 1; z -= y
+    w += x; x <<= 1; x -= w
+
+    t[col(0)] = x
+    t[col(1)] = y
+    t[col(2)] = z
+    t[col(3)] = w
+
+
+def forward_transform(blocks: np.ndarray, ndim: int) -> np.ndarray:
+    """Decorrelate fixed-point blocks; returns a new (nblocks, 4**d) array.
+
+    Coefficient growth is below ``2**(ndim + 1)`` relative to the input
+    magnitude (each 1-D pass has row sums <= 2 in absolute value).
+    """
+    tensor = _as_block_tensor(blocks, ndim).copy()
+    for axis in range(1, ndim + 1):
+        _fwd_lift(tensor, axis)
+    return tensor.reshape(blocks.shape[0], -1)
+
+
+def inverse_transform(coeffs: np.ndarray, ndim: int) -> np.ndarray:
+    """Invert :func:`forward_transform` (up to lifting-shift ulps)."""
+    tensor = _as_block_tensor(coeffs, ndim).copy()
+    for axis in range(ndim, 0, -1):
+        _inv_lift(tensor, axis)
+    return tensor.reshape(coeffs.shape[0], -1)
+
+
+def sequency_order(ndim: int) -> np.ndarray:
+    """Coefficient permutation ordering block coefficients by total sequency.
+
+    ZFP emits coefficients in order of total frequency content (sum of
+    per-axis indices), grouping the typically-large low-frequency
+    coefficients first. The permutation maps *ordered position → flat
+    C-order index*. Ties are broken by flat index, matching a stable
+    sort of zfp's PERM tables.
+    """
+    if ndim < 1 or ndim > 4:
+        raise ValueError(f"ndim must be in [1, 4], got {ndim}")
+    idx = np.indices((BLOCK_EDGE,) * ndim).reshape(ndim, -1)
+    total = idx.sum(axis=0)
+    return np.argsort(total, kind="stable").astype(np.int64)

@@ -1,0 +1,101 @@
+"""Error-bound advisor: pick eb from a storage or quality target.
+
+The paper sweeps fixed bounds (1e-1..1e-4); a user usually starts from
+the other end — "I have a 10x storage budget" or "I need 60 dB PSNR".
+The advisor profiles the real codec on a representative field across a
+log-spaced bound grid and answers both questions by log-log
+interpolation of the measured curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.compressors.base import Compressor
+from repro.compressors.metrics import evaluate
+from repro.utils.validation import as_float_array, check_positive
+
+__all__ = ["BoundProfile", "ErrorBoundAdvisor"]
+
+
+@dataclass(frozen=True)
+class BoundProfile:
+    """One profiled operating point."""
+
+    error_bound: float
+    ratio: float
+    psnr_db: float
+    max_error: float
+
+
+class ErrorBoundAdvisor:
+    """Profiles a codec on a field and inverts the eb ↔ quality curves."""
+
+    def __init__(
+        self,
+        compressor: Compressor,
+        field: np.ndarray,
+        bounds: Tuple[float, ...] = (1e-1, 3e-2, 1e-2, 3e-3, 1e-3, 3e-4, 1e-4),
+    ) -> None:
+        if len(bounds) < 2:
+            raise ValueError("need at least 2 bounds to interpolate")
+        if any(b <= 0 for b in bounds):
+            raise ValueError("bounds must be positive")
+        self.compressor = compressor
+        arr = as_float_array(field, "field")
+        profiles: List[BoundProfile] = []
+        for eb in sorted(bounds, reverse=True):
+            buf, rec = compressor.roundtrip(arr, eb)
+            m = evaluate(arr, rec, buf)
+            profiles.append(
+                BoundProfile(
+                    error_bound=eb,
+                    ratio=m.ratio,
+                    psnr_db=m.psnr_db,
+                    max_error=m.max_error,
+                )
+            )
+        #: Profiles ordered from coarsest to finest bound.
+        self.profiles: Tuple[BoundProfile, ...] = tuple(profiles)
+
+    # -- inversion -------------------------------------------------------
+
+    def _interp_bound(self, xs: np.ndarray, target: float, log_x: bool) -> float:
+        ebs = np.log10([p.error_bound for p in self.profiles])
+        vals = np.log10(xs) if log_x else xs
+        order = np.argsort(vals)
+        vals, ebs = vals[order], ebs[order]
+        t = np.log10(target) if log_x else target
+        t = float(np.clip(t, vals[0], vals[-1]))
+        return float(10 ** np.interp(t, vals, ebs))
+
+    def bound_for_ratio(self, target_ratio: float) -> float:
+        """Coarsest bound achieving at least *target_ratio* (clamped to
+        the profiled range)."""
+        check_positive(target_ratio, "target_ratio")
+        ratios = np.array([p.ratio for p in self.profiles])
+        return self._interp_bound(ratios, target_ratio, log_x=True)
+
+    def bound_for_psnr(self, target_psnr_db: float) -> float:
+        """Coarsest bound achieving at least *target_psnr_db* (clamped)."""
+        psnrs = np.array([p.psnr_db for p in self.profiles])
+        if not np.all(np.isfinite(psnrs)):
+            raise ValueError("PSNR profile contains non-finite values")
+        return self._interp_bound(psnrs, target_psnr_db, log_x=False)
+
+    # -- reporting --------------------------------------------------------
+
+    def table(self) -> List[Dict[str, float]]:
+        """Profiled operating points as export-ready rows."""
+        return [
+            {
+                "error_bound": p.error_bound,
+                "ratio": p.ratio,
+                "psnr_db": p.psnr_db,
+                "max_error": p.max_error,
+            }
+            for p in self.profiles
+        ]

@@ -1,0 +1,69 @@
+"""Energy accounting: Eqn. 1 and savings comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.iosim.dumper import DumpReport
+from repro.utils.validation import check_positive
+
+__all__ = ["energy_joules", "savings_fraction", "SavingsReport", "compare_reports"]
+
+
+def energy_joules(power_w: float, runtime_s: float) -> float:
+    """Eqn. 1: ``E = P_avg · t_run``."""
+    check_positive(power_w, "power_w")
+    check_positive(runtime_s, "runtime_s")
+    return power_w * runtime_s
+
+
+def savings_fraction(baseline_j: float, tuned_j: float) -> float:
+    """Fractional energy saved by tuning (negative = regression)."""
+    check_positive(baseline_j, "baseline_j")
+    if tuned_j < 0:
+        raise ValueError(f"tuned_j must be non-negative, got {tuned_j}")
+    return 1.0 - tuned_j / baseline_j
+
+
+@dataclass(frozen=True)
+class SavingsReport:
+    """Base-clock vs. tuned outcome for one dump configuration (Fig. 6)."""
+
+    error_bound: float
+    baseline_energy_j: float
+    tuned_energy_j: float
+    baseline_runtime_s: float
+    tuned_runtime_s: float
+    compression_ratio: float
+
+    @property
+    def energy_saved_j(self) -> float:
+        return self.baseline_energy_j - self.tuned_energy_j
+
+    @property
+    def energy_saving_fraction(self) -> float:
+        return savings_fraction(self.baseline_energy_j, self.tuned_energy_j)
+
+    @property
+    def runtime_increase_fraction(self) -> float:
+        return self.tuned_runtime_s / self.baseline_runtime_s - 1.0
+
+
+def compare_reports(baseline: DumpReport, tuned: DumpReport) -> SavingsReport:
+    """Build a :class:`SavingsReport` from two pipeline runs.
+
+    Both runs must target the same error bound (otherwise the comparison
+    is between different workloads, not different frequencies).
+    """
+    if abs(baseline.error_bound - tuned.error_bound) > 1e-15:
+        raise ValueError(
+            f"error bounds differ: {baseline.error_bound} vs {tuned.error_bound}"
+        )
+    return SavingsReport(
+        error_bound=baseline.error_bound,
+        baseline_energy_j=baseline.total_energy_j,
+        tuned_energy_j=tuned.total_energy_j,
+        baseline_runtime_s=baseline.total_runtime_s,
+        tuned_runtime_s=tuned.total_runtime_s,
+        compression_ratio=baseline.compression_ratio,
+    )

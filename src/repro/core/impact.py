@@ -1,0 +1,77 @@
+"""Sustainability impact: joules → carbon, cost, and fleet projections.
+
+The paper's closing argument is green-computing: "applications of these
+findings in HPC computing centers will help meet green-computing
+initiatives". This module does the last conversion step — energy saved
+per dump → CO₂-equivalent and electricity cost at data-center scale —
+so the 6.5 kJ headline can be read as an operations number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["GridProfile", "ImpactReport", "impact_of", "US_AVERAGE_GRID"]
+
+
+@dataclass(frozen=True)
+class GridProfile:
+    """Electricity supply characteristics of a computing site."""
+
+    #: Carbon intensity, grams CO2-equivalent per kWh.
+    gco2e_per_kwh: float
+    #: Electricity price, $ per kWh.
+    usd_per_kwh: float
+    #: Power usage effectiveness of the facility (>= 1; cooling etc.).
+    pue: float = 1.4
+
+    def __post_init__(self):
+        check_nonnegative(self.gco2e_per_kwh, "gco2e_per_kwh")
+        check_nonnegative(self.usd_per_kwh, "usd_per_kwh")
+        if self.pue < 1.0:
+            raise ValueError(f"pue must be >= 1, got {self.pue}")
+
+
+#: 2020s-era US grid average: ~390 gCO2e/kWh, ~$0.10/kWh industrial.
+US_AVERAGE_GRID = GridProfile(gco2e_per_kwh=390.0, usd_per_kwh=0.10)
+
+_JOULES_PER_KWH = 3.6e6
+
+
+@dataclass(frozen=True)
+class ImpactReport:
+    """Converted impact of an amount of IT-side energy."""
+
+    it_energy_j: float
+    facility_energy_j: float
+    kwh: float
+    gco2e: float
+    usd: float
+
+    def scaled(self, factor: float) -> "ImpactReport":
+        """Project to *factor*× the events (e.g. dumps/year × nodes)."""
+        check_nonnegative(factor, "factor")
+        return ImpactReport(
+            it_energy_j=self.it_energy_j * factor,
+            facility_energy_j=self.facility_energy_j * factor,
+            kwh=self.kwh * factor,
+            gco2e=self.gco2e * factor,
+            usd=self.usd * factor,
+        )
+
+
+def impact_of(energy_j: float, grid: GridProfile = US_AVERAGE_GRID) -> ImpactReport:
+    """Convert IT-side joules to facility-level kWh, CO₂e and cost."""
+    check_nonnegative(energy_j, "energy_j")
+    check_positive(grid.pue, "pue")
+    facility = energy_j * grid.pue
+    kwh = facility / _JOULES_PER_KWH
+    return ImpactReport(
+        it_energy_j=energy_j,
+        facility_energy_j=facility,
+        kwh=kwh,
+        gco2e=kwh * grid.gco2e_per_kwh,
+        usd=kwh * grid.usd_per_kwh,
+    )

@@ -1,0 +1,70 @@
+"""Tuning objectives beyond plain energy.
+
+The paper minimizes energy subject to an implicit runtime tolerance.
+Real deployments weigh time differently, so the optimizer also supports
+the standard objective family:
+
+* ``POWER`` — minimize average power (the paper's Fig. 1 minimum; ends
+  up at f_min, useful only under hard power caps).
+* ``ENERGY`` — minimize ``P(f)·t(f)`` (the paper's implicit objective).
+* ``EDP`` — energy-delay product ``P(f)·t(f)²``, the common
+  throughput-aware compromise.
+* ``ED2P`` — energy-delay² product ``P(f)·t(f)³``, strongly
+  delay-averse (leans toward f_max).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.core.power_model import PowerModel
+from repro.core.runtime_model import RuntimeModel
+from repro.hardware.cpu import CpuSpec
+
+__all__ = ["Objective", "objective_curve", "optimal_frequency"]
+
+
+class Objective(enum.Enum):
+    """What to minimize when picking a pinned frequency."""
+
+    POWER = "power"
+    ENERGY = "energy"
+    EDP = "edp"
+    ED2P = "ed2p"
+
+    @property
+    def delay_exponent(self) -> int:
+        """Power of the runtime factor in the objective."""
+        return {
+            Objective.POWER: 0,
+            Objective.ENERGY: 1,
+            Objective.EDP: 2,
+            Objective.ED2P: 3,
+        }[self]
+
+
+def objective_curve(
+    power_model: PowerModel,
+    runtime_model: RuntimeModel,
+    frequencies,
+    objective: Objective = Objective.ENERGY,
+) -> np.ndarray:
+    """Scaled objective values ``P(f) · t(f)^k`` over *frequencies*."""
+    if not isinstance(objective, Objective):
+        raise TypeError(f"objective must be an Objective, got {objective!r}")
+    f = np.asarray(frequencies, dtype=np.float64)
+    return power_model.predict(f) * runtime_model.predict(f) ** objective.delay_exponent
+
+
+def optimal_frequency(
+    power_model: PowerModel,
+    runtime_model: RuntimeModel,
+    cpu: CpuSpec,
+    objective: Objective = Objective.ENERGY,
+) -> float:
+    """DVFS-grid frequency minimizing the chosen objective."""
+    grid = cpu.available_frequencies()
+    values = objective_curve(power_model, runtime_model, grid, objective)
+    return float(grid[np.argmin(values)])

@@ -1,0 +1,95 @@
+"""Model partitions: which slices of the data get their own fit.
+
+Table III defines five compression partitions — Total, SZ, ZFP,
+Broadwell, Skylake — and Section IV-B uses three for data transit
+(Total, Broadwell, Skylake). The paper's key observation (Tables IV/V)
+is that per-architecture partitions fit far better than per-compressor
+or pooled ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.power_model import PowerModel
+from repro.core.samples import SampleSet
+
+__all__ = [
+    "Partition",
+    "COMPRESSION_PARTITIONS",
+    "TRANSIT_PARTITIONS",
+    "fit_partition_models",
+    "table3_rows",
+]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A named slice of the sample space.
+
+    ``compressor``/``cpu`` of ``None`` mean "all values".
+    """
+
+    name: str
+    compressor: Optional[str] = None
+    cpu: Optional[str] = None
+
+    def select(self, samples: SampleSet) -> SampleSet:
+        """Records of *samples* belonging to this partition."""
+        kwargs = {}
+        if self.compressor is not None:
+            kwargs["compressor"] = self.compressor
+        if self.cpu is not None:
+            kwargs["cpu"] = self.cpu
+        return samples.filter(**kwargs) if kwargs else samples
+
+    def describe(self) -> Dict[str, str]:
+        """Row of Table III."""
+        return {
+            "model_data": self.name,
+            "compressors": self.compressor or "SZ, ZFP",
+            "cpus": self.cpu.capitalize() if self.cpu else "Broadwell, Skylake",
+        }
+
+
+#: Table III: the five compression model partitions.
+COMPRESSION_PARTITIONS: Tuple[Partition, ...] = (
+    Partition("Total"),
+    Partition("SZ", compressor="sz"),
+    Partition("ZFP", compressor="zfp"),
+    Partition("Broadwell", cpu="broadwell"),
+    Partition("Skylake", cpu="skylake"),
+)
+
+#: Section IV-B: the three data-transit model partitions.
+TRANSIT_PARTITIONS: Tuple[Partition, ...] = (
+    Partition("Total"),
+    Partition("Broadwell", cpu="broadwell"),
+    Partition("Skylake", cpu="skylake"),
+)
+
+
+def fit_partition_models(
+    samples: SampleSet,
+    partitions: Tuple[Partition, ...] = COMPRESSION_PARTITIONS,
+    value_key: str = "scaled_power_w",
+) -> Dict[str, PowerModel]:
+    """Fit one :class:`PowerModel` per partition.
+
+    Raises ``ValueError`` if any partition selects no samples — an
+    empty partition means the sweep configuration does not cover the
+    requested slice.
+    """
+    models: Dict[str, PowerModel] = {}
+    for part in partitions:
+        subset = part.select(samples)
+        if len(subset) == 0:
+            raise ValueError(f"partition {part.name!r} selected no samples")
+        models[part.name] = PowerModel.fit(part.name, subset, value_key=value_key)
+    return models
+
+
+def table3_rows() -> Tuple[Dict[str, str], ...]:
+    """Rows of Table III (models produced for tuning)."""
+    return tuple(p.describe() for p in COMPRESSION_PARTITIONS)

@@ -1,0 +1,126 @@
+"""Model persistence: save fitted models, reload and tune without re-sweeping.
+
+The practical value of the paper's methodology is that the (expensive)
+characterization runs once per machine; afterwards the fitted models
+alone drive tuning decisions. A :class:`ModelBundle` captures exactly
+that artifact — the per-partition power models and per-architecture
+runtime models — as a versioned JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.power_model import PowerModel
+from repro.core.runtime_model import RuntimeModel
+from repro.utils.stats import GoodnessOfFit
+
+__all__ = ["ModelBundle", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+
+def _gof_to_dict(g: GoodnessOfFit) -> Dict[str, float]:
+    return {"sse": g.sse, "rmse": g.rmse, "r2": g.r2}
+
+
+def _gof_from_dict(d: Dict[str, float]) -> GoodnessOfFit:
+    return GoodnessOfFit(sse=float(d["sse"]), rmse=float(d["rmse"]), r2=float(d["r2"]))
+
+
+def _power_to_dict(m: PowerModel) -> Dict[str, object]:
+    return {
+        "name": m.name, "a": m.a, "b": m.b, "c": m.c,
+        "fmin_ghz": m.fmin_ghz, "fmax_ghz": m.fmax_ghz,
+        "gof": _gof_to_dict(m.gof),
+    }
+
+
+def _power_from_dict(d: Dict[str, object]) -> PowerModel:
+    return PowerModel(
+        name=str(d["name"]), a=float(d["a"]), b=float(d["b"]), c=float(d["c"]),
+        fmin_ghz=float(d["fmin_ghz"]), fmax_ghz=float(d["fmax_ghz"]),
+        gof=_gof_from_dict(d["gof"]),
+    )
+
+
+def _runtime_to_dict(m: RuntimeModel) -> Dict[str, object]:
+    return {
+        "name": m.name, "sensitivity": m.sensitivity, "fmax_ghz": m.fmax_ghz,
+        "gof": _gof_to_dict(m.gof),
+    }
+
+
+def _runtime_from_dict(d: Dict[str, object]) -> RuntimeModel:
+    return RuntimeModel(
+        name=str(d["name"]), sensitivity=float(d["sensitivity"]),
+        fmax_ghz=float(d["fmax_ghz"]), gof=_gof_from_dict(d["gof"]),
+    )
+
+
+@dataclass
+class ModelBundle:
+    """All fitted models from one characterization campaign."""
+
+    compression_power: Dict[str, PowerModel]
+    transit_power: Dict[str, PowerModel]
+    compression_runtime: Dict[str, RuntimeModel]
+    transit_runtime: Dict[str, RuntimeModel]
+    metadata: Dict[str, object]
+
+    @classmethod
+    def from_outcome(cls, outcome, metadata: Dict[str, object] | None = None) -> "ModelBundle":
+        """Capture the models of a :class:`~repro.core.pipeline.PipelineOutcome`."""
+        return cls(
+            compression_power=dict(outcome.compression_models),
+            transit_power=dict(outcome.transit_models),
+            compression_runtime=dict(outcome.compression_runtime),
+            transit_runtime=dict(outcome.transit_runtime),
+            metadata=dict(metadata or {}),
+        )
+
+    def to_json(self) -> str:
+        """Serialize to a versioned JSON document."""
+        doc = {
+            "schema_version": SCHEMA_VERSION,
+            "metadata": self.metadata,
+            "compression_power": {k: _power_to_dict(v) for k, v in self.compression_power.items()},
+            "transit_power": {k: _power_to_dict(v) for k, v in self.transit_power.items()},
+            "compression_runtime": {k: _runtime_to_dict(v) for k, v in self.compression_runtime.items()},
+            "transit_runtime": {k: _runtime_to_dict(v) for k, v in self.transit_runtime.items()},
+        }
+        return json.dumps(doc, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ModelBundle":
+        """Parse a document produced by :meth:`to_json`."""
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"not a valid model bundle: {exc}") from exc
+        version = doc.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported model bundle schema {version!r} "
+                f"(this build reads version {SCHEMA_VERSION})"
+            )
+        return cls(
+            compression_power={k: _power_from_dict(v) for k, v in doc["compression_power"].items()},
+            transit_power={k: _power_from_dict(v) for k, v in doc["transit_power"].items()},
+            compression_runtime={k: _runtime_from_dict(v) for k, v in doc["compression_runtime"].items()},
+            transit_runtime={k: _runtime_from_dict(v) for k, v in doc["transit_runtime"].items()},
+            metadata=dict(doc.get("metadata", {})),
+        )
+
+    def save(self, path) -> None:
+        """Write the bundle to *path*."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "ModelBundle":
+        """Read a bundle from *path*."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())

@@ -1,0 +1,99 @@
+"""Tidy storage for experiment samples.
+
+A :class:`SampleSet` is a list of flat records (dicts) with filtering,
+column extraction and grouping — the minimal relational algebra the
+modeling pipeline needs, without growing a dataframe dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Tuple
+
+import numpy as np
+
+__all__ = ["SampleSet"]
+
+
+class SampleSet:
+    """An ordered collection of flat sample records."""
+
+    def __init__(self, records: Iterable[Dict[str, Any]] = ()) -> None:
+        self._records: List[Dict[str, Any]] = [dict(r) for r in records]
+
+    # -- container protocol -------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self._records)
+
+    def __getitem__(self, idx: int) -> Dict[str, Any]:
+        return self._records[idx]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SampleSet({len(self)} records)"
+
+    # -- construction ---------------------------------------------------
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Add one record (shallow-copied)."""
+        self._records.append(dict(record))
+
+    def extend(self, records: Iterable[Dict[str, Any]]) -> None:
+        """Add many records."""
+        for r in records:
+            self.append(r)
+
+    def merged(self, other: "SampleSet") -> "SampleSet":
+        """New set with this set's records followed by *other*'s."""
+        return SampleSet(list(self._records) + list(other._records))
+
+    # -- relational helpers ----------------------------------------------
+
+    def filter(self, predicate: Callable[[Dict[str, Any]], bool] | None = None, **equals) -> "SampleSet":
+        """Records matching a predicate and/or exact key=value pairs."""
+        out = []
+        for r in self._records:
+            if equals and any(r.get(k) != v for k, v in equals.items()):
+                continue
+            if predicate is not None and not predicate(r):
+                continue
+            out.append(r)
+        return SampleSet(out)
+
+    def column(self, key: str) -> np.ndarray:
+        """One field across all records, as a NumPy array.
+
+        Raises ``KeyError`` naming the first record missing the field.
+        """
+        try:
+            values = [r[key] for r in self._records]
+        except KeyError as exc:
+            raise KeyError(f"record is missing field {exc.args[0]!r}") from exc
+        return np.asarray(values)
+
+    def unique(self, key: str) -> Tuple[Any, ...]:
+        """Sorted distinct values of a field."""
+        return tuple(sorted({r[key] for r in self._records}))
+
+    def group_by(self, *keys: str) -> Dict[Tuple[Any, ...], "SampleSet"]:
+        """Partition records by a tuple of field values."""
+        groups: Dict[Tuple[Any, ...], SampleSet] = {}
+        for r in self._records:
+            gk = tuple(r[k] for k in keys)
+            groups.setdefault(gk, SampleSet()).append(r)
+        return groups
+
+    def with_field(self, key: str, fn: Callable[[Dict[str, Any]], Any]) -> "SampleSet":
+        """New set with an extra computed field on every record."""
+        out = SampleSet()
+        for r in self._records:
+            r2 = dict(r)
+            r2[key] = fn(r)
+            out.append(r2)
+        return out
+
+    def sort_by(self, key: str) -> "SampleSet":
+        """New set sorted ascending by a field."""
+        return SampleSet(sorted(self._records, key=lambda r: r[key]))

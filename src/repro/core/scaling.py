@@ -1,0 +1,67 @@
+"""Max-clock scaling of power and runtime (Section V-A).
+
+The paper compares chips with very different TDPs (45 W vs 85 W) by
+dividing every power/runtime series by its value at the maximum clock
+frequency, turning the characteristic plots of Figs. 1-4 into
+percentages. These helpers apply the same normalization per measurement
+series.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.samples import SampleSet
+
+__all__ = ["scale_to_reference", "add_scaled_columns"]
+
+
+def scale_to_reference(
+    freqs: Sequence[float], values: Sequence[float]
+) -> Tuple[np.ndarray, float]:
+    """Divide *values* by the value at the largest frequency.
+
+    Returns ``(scaled_values, reference_value)``.
+    """
+    f = np.asarray(freqs, dtype=np.float64)
+    v = np.asarray(values, dtype=np.float64)
+    if f.shape != v.shape or f.ndim != 1:
+        raise ValueError("freqs and values must be equal-length 1-D sequences")
+    if f.size == 0:
+        raise ValueError("cannot scale an empty series")
+    ref = float(v[np.argmax(f)])
+    if ref <= 0:
+        raise ValueError(f"reference value at max frequency must be positive, got {ref}")
+    return v / ref, ref
+
+
+def add_scaled_columns(
+    samples: SampleSet,
+    group_keys: Sequence[str] = ("cpu", "compressor", "dataset", "field", "error_bound"),
+    freq_key: str = "freq_ghz",
+    value_keys: Sequence[str] = ("power_w", "runtime_s"),
+) -> SampleSet:
+    """Add ``scaled_<key>`` fields, normalized per measurement series.
+
+    A *series* is all samples sharing *group_keys* — e.g. one
+    (cpu, compressor, dataset, field, error bound) curve of Figs. 1-2.
+    Each series is scaled by its own max-frequency value. Group keys
+    missing from the records are ignored, so the same call works for
+    compression and transit sweeps.
+    """
+    present = [k for k in group_keys if all(k in r for r in samples)]
+    out = SampleSet()
+    for _, group in samples.group_by(*present).items():
+        ordered = group.sort_by(freq_key)
+        freqs = ordered.column(freq_key)
+        refs = {}
+        for vk in value_keys:
+            _, refs[vk] = scale_to_reference(freqs, ordered.column(vk))
+        for r in ordered:
+            r2 = dict(r)
+            for vk in value_keys:
+                r2[f"scaled_{vk}"] = r[vk] / refs[vk]
+            out.append(r2)
+    return out

@@ -1,0 +1,42 @@
+"""Synthetic SDRBench-like scientific datasets.
+
+The paper compresses CESM-ATM, HACC and NYX fields (Table I) and
+validates on Hurricane-ISABEL (Fig. 5). SDRBench's actual files are not
+available offline, so this package synthesizes seeded fields with the
+same dimensionality and smoothness character; see DESIGN.md §2 for why
+that preserves the behaviour the power study depends on.
+"""
+
+from repro.data.fields import (
+    gaussian_random_field,
+    smooth_layered_field,
+    lognormal_density_field,
+    particle_coordinates,
+    vortex_velocity_field,
+)
+from repro.data.registry import (
+    DatasetSpec,
+    FieldSpec,
+    DATASETS,
+    available_datasets,
+    get_dataset,
+    load_field,
+    load_dataset,
+    table1_rows,
+)
+
+__all__ = [
+    "gaussian_random_field",
+    "smooth_layered_field",
+    "lognormal_density_field",
+    "particle_coordinates",
+    "vortex_velocity_field",
+    "DatasetSpec",
+    "FieldSpec",
+    "DATASETS",
+    "available_datasets",
+    "get_dataset",
+    "load_field",
+    "load_dataset",
+    "table1_rows",
+]

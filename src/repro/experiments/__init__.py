@@ -1,0 +1,10 @@
+"""Experiment modules regenerating every table and figure of the paper.
+
+Each module exposes ``run(...)`` returning structured results and a
+``main()`` that prints the paper-style rendering. ``ExperimentContext``
+shares the (expensive) measurement campaign across experiments.
+"""
+
+from repro.experiments.context import ExperimentContext
+
+__all__ = ["ExperimentContext"]

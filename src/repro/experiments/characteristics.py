@@ -1,0 +1,69 @@
+"""Shared machinery for the characteristic plots (Figs. 1-4).
+
+Each figure shows scaled power or runtime vs. frequency, one trend per
+(CPU, compressor) or per CPU, with 95 % confidence shading pooled over
+datasets / error bounds / sizes and measurement repeats.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.samples import SampleSet
+from repro.utils.stats import ConfidenceBand, confidence_band
+
+__all__ = ["characteristic_bands", "bands_to_series"]
+
+_VALUE_FIELDS = {
+    "power": ("power_samples", "power_w", "scaled_power_w"),
+    "runtime": ("runtime_samples", "runtime_s", "scaled_runtime_s"),
+}
+
+
+def characteristic_bands(
+    samples: SampleSet,
+    group_keys: Sequence[str] = ("cpu", "compressor"),
+    value: str = "power",
+    confidence: float = 0.95,
+) -> Dict[Tuple, ConfidenceBand]:
+    """Scaled characteristic curves with confidence bands.
+
+    Per-repeat raw values are rescaled by each measurement series' own
+    max-clock reference (recovered from the mean and scaled-mean
+    fields), then pooled per (group, frequency).
+    """
+    if value not in _VALUE_FIELDS:
+        raise KeyError(f"value must be one of {sorted(_VALUE_FIELDS)}, got {value!r}")
+    samples_key, mean_key, scaled_key = _VALUE_FIELDS[value]
+
+    bands: Dict[Tuple, ConfidenceBand] = {}
+    for gkey, group in samples.group_by(*group_keys).items():
+        pooled: Dict[float, list] = {}
+        for rec in group:
+            scaled_mean = rec[scaled_key]
+            ref = rec[mean_key] / scaled_mean if scaled_mean else float("nan")
+            raw = rec.get(samples_key) or (rec[mean_key],)
+            pooled.setdefault(rec["freq_ghz"], []).extend(v / ref for v in raw)
+        freqs = np.array(sorted(pooled))
+        bands[gkey] = confidence_band(
+            freqs, [pooled[f] for f in freqs], confidence=confidence
+        )
+    return bands
+
+
+def bands_to_series(
+    bands: Dict[Tuple, ConfidenceBand]
+) -> Dict[str, Dict[str, np.ndarray]]:
+    """Flatten bands into name → {x, mean, lower, upper} for rendering."""
+    out = {}
+    for gkey, band in bands.items():
+        name = "/".join(str(k) for k in (gkey if isinstance(gkey, tuple) else (gkey,)))
+        out[name] = {
+            "x": band.x,
+            "mean": band.mean,
+            "lower": band.lower,
+            "upper": band.upper,
+        }
+    return out

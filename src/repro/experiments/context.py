@@ -1,0 +1,51 @@
+"""Shared, lazily-evaluated experiment state.
+
+Tables IV-V and Figures 1-6 all consume the same measurement campaign;
+:class:`ExperimentContext` runs it once (per configuration) and caches
+the sweep outputs, fitted models and tuning recommendations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.pipeline import PipelineOutcome, TunedIOPipeline
+from repro.core.tuning import PAPER_POLICY, TuningPolicy
+from repro.hardware.powercurves import PowerCurve
+from repro.iosim.nfs import NfsTarget
+from repro.workflow.sweep import SweepConfig, default_nodes
+
+__all__ = ["ExperimentContext"]
+
+
+class ExperimentContext:
+    """Lazy holder of nodes, pipeline, sweeps and models."""
+
+    def __init__(
+        self,
+        config: Optional[SweepConfig] = None,
+        power_curve: Optional[PowerCurve] = None,
+        policy: TuningPolicy = PAPER_POLICY,
+        nfs: Optional[NfsTarget] = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config if config is not None else SweepConfig()
+        self.policy = policy
+        self.nodes = default_nodes(power_curve=power_curve, seed=seed)
+        self.pipeline = TunedIOPipeline(self.nodes, nfs=nfs)
+        self._outcome: Optional[PipelineOutcome] = None
+
+    @property
+    def outcome(self) -> PipelineOutcome:
+        """The characterized + tuned pipeline outcome (computed once)."""
+        if self._outcome is None:
+            out = self.pipeline.characterize(self.config)
+            self._outcome = self.pipeline.recommend(out, self.policy)
+        return self._outcome
+
+    def node(self, arch: str):
+        """The simulated node with the given architecture."""
+        for n in self.nodes:
+            if n.cpu.arch == arch:
+                return n
+        raise KeyError(f"no node with architecture {arch!r}")

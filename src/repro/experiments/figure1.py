@@ -1,0 +1,48 @@
+"""Fig. 1 — compression scaled power characteristics.
+
+One trend per (CPU, compressor), scaled by the max-clock power, with
+95 % confidence shading. Expected shape (the critical power slope of
+Miyoshi et al.): a near-constant region at low frequency rising sharply
+toward the base clock; the minimum sits at the lowest frequency, around
+0.74-0.80 of peak power.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.experiments.characteristics import characteristic_bands
+from repro.experiments.context import ExperimentContext
+from repro.utils.stats import ConfidenceBand
+from repro.workflow.report import render_series
+
+__all__ = ["run", "main"]
+
+
+def run(ctx: Optional[ExperimentContext] = None) -> Dict[Tuple, ConfidenceBand]:
+    """Bands keyed by (cpu, compressor)."""
+    ctx = ctx if ctx is not None else ExperimentContext()
+    return characteristic_bands(
+        ctx.outcome.compression_samples, ("cpu", "compressor"), value="power"
+    )
+
+
+def main(ctx: Optional[ExperimentContext] = None) -> str:
+    """Render every trend of Fig. 1 as a subsampled series table."""
+    bands = run(ctx)
+    chunks = []
+    for (cpu, comp), band in sorted(bands.items()):
+        chunks.append(
+            render_series(
+                band.x,
+                {"scaled_power": band.mean, "ci_low": band.lower, "ci_high": band.upper},
+                title=f"FIG. 1 — compression scaled power: {cpu}/{comp}",
+            )
+        )
+    text = "\n\n".join(chunks)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Fig. 2 — compression scaled runtime characteristics.
+
+One trend per (CPU, compressor), scaled by the max-clock runtime.
+Expected shape: monotonically decreasing in frequency (best runtime at
+the base clock), SZ and ZFP trends overlapping, roughly 1.0 → 1.6-1.8×
+over the DVFS range under the leading-loads model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.experiments.characteristics import characteristic_bands
+from repro.experiments.context import ExperimentContext
+from repro.utils.stats import ConfidenceBand
+from repro.workflow.report import render_series
+
+__all__ = ["run", "main"]
+
+
+def run(ctx: Optional[ExperimentContext] = None) -> Dict[Tuple, ConfidenceBand]:
+    """Bands keyed by (cpu, compressor)."""
+    ctx = ctx if ctx is not None else ExperimentContext()
+    return characteristic_bands(
+        ctx.outcome.compression_samples, ("cpu", "compressor"), value="runtime"
+    )
+
+
+def main(ctx: Optional[ExperimentContext] = None) -> str:
+    """Render every trend of Fig. 2 as a subsampled series table."""
+    bands = run(ctx)
+    chunks = []
+    for (cpu, comp), band in sorted(bands.items()):
+        chunks.append(
+            render_series(
+                band.x,
+                {"scaled_runtime": band.mean, "ci_low": band.lower, "ci_high": band.upper},
+                title=f"FIG. 2 — compression scaled runtime: {cpu}/{comp}",
+            )
+        )
+    text = "\n\n".join(chunks)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

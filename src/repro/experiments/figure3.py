@@ -1,0 +1,47 @@
+"""Fig. 3 — data transit scaled power characteristics.
+
+One trend per CPU (sizes pooled — the paper found no size dependence
+after scaling). Expected shape: same critical power slope as Fig. 1 but
+with a higher floor (~0.85-0.9) because writing loads the core harder;
+the Skylake trend spans a narrower range than the Broadwell one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.experiments.characteristics import characteristic_bands
+from repro.experiments.context import ExperimentContext
+from repro.utils.stats import ConfidenceBand
+from repro.workflow.report import render_series
+
+__all__ = ["run", "main"]
+
+
+def run(ctx: Optional[ExperimentContext] = None) -> Dict[Tuple, ConfidenceBand]:
+    """Bands keyed by (cpu,)."""
+    ctx = ctx if ctx is not None else ExperimentContext()
+    return characteristic_bands(
+        ctx.outcome.transit_samples, ("cpu",), value="power"
+    )
+
+
+def main(ctx: Optional[ExperimentContext] = None) -> str:
+    """Render every trend of Fig. 3 as a subsampled series table."""
+    bands = run(ctx)
+    chunks = []
+    for gkey, band in sorted(bands.items()):
+        chunks.append(
+            render_series(
+                band.x,
+                {"scaled_power": band.mean, "ci_low": band.lower, "ci_high": band.upper},
+                title=f"FIG. 3 — data transit scaled power: {gkey[0]}",
+            )
+        )
+    text = "\n\n".join(chunks)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Fig. 4 — data transit scaled runtime characteristics.
+
+One trend per CPU. Expected shape: Broadwell stretches noticeably at
+low frequency (compute-bound copy path); Skylake is nearly stagnant —
+the paper attributes this to the generation's lack of energy-efficient
+scaling on the write path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.experiments.characteristics import characteristic_bands
+from repro.experiments.context import ExperimentContext
+from repro.utils.stats import ConfidenceBand
+from repro.workflow.report import render_series
+
+__all__ = ["run", "main"]
+
+
+def run(ctx: Optional[ExperimentContext] = None) -> Dict[Tuple, ConfidenceBand]:
+    """Bands keyed by (cpu,)."""
+    ctx = ctx if ctx is not None else ExperimentContext()
+    return characteristic_bands(
+        ctx.outcome.transit_samples, ("cpu",), value="runtime"
+    )
+
+
+def main(ctx: Optional[ExperimentContext] = None) -> str:
+    """Render every trend of Fig. 4 as a subsampled series table."""
+    bands = run(ctx)
+    chunks = []
+    for gkey, band in sorted(bands.items()):
+        chunks.append(
+            render_series(
+                band.x,
+                {"scaled_runtime": band.mean, "ci_low": band.lower, "ci_high": band.upper},
+                title=f"FIG. 4 — data transit scaled runtime: {gkey[0]}",
+            )
+        )
+    text = "\n\n".join(chunks)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Fig. 6 — energy dissipation for data dumping (the headline use case).
+
+Compress and transmit a 512 GB NYX velocity-x field with SZ over error
+bounds 1e-1..1e-4, at base clock vs. Eqn. 3-tuned frequencies, and
+record total energy. Paper result: tuning always reduces energy, saving
+6.5 kJ (13 %) on average across the bounds.
+
+The paper does not state which node ran this experiment; we run both
+and report per-architecture savings (the Skylake node lands closest to
+the paper's 13 %).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.energy import SavingsReport
+from repro.experiments.context import ExperimentContext
+from repro.workflow.report import render_table
+
+__all__ = ["run", "main", "PAPER_AVG_SAVED_KJ", "PAPER_AVG_SAVING_FRACTION"]
+
+PAPER_AVG_SAVED_KJ = 6.5
+PAPER_AVG_SAVING_FRACTION = 0.13
+
+ERROR_BOUNDS = (1e-1, 1e-2, 1e-3, 1e-4)
+TARGET_BYTES = int(512e9)
+
+
+def run(
+    ctx: Optional[ExperimentContext] = None,
+    archs: Sequence[str] = ("broadwell", "skylake"),
+    error_bounds: Sequence[float] = ERROR_BOUNDS,
+    target_bytes: int = TARGET_BYTES,
+) -> Dict[str, Tuple[SavingsReport, ...]]:
+    """Per-architecture savings reports, one per error bound."""
+    ctx = ctx if ctx is not None else ExperimentContext()
+    out: Dict[str, Tuple[SavingsReport, ...]] = {}
+    for arch in archs:
+        reports = tuple(
+            ctx.pipeline.apply(
+                ctx.outcome,
+                arch=arch,
+                compressor="sz",
+                dataset="nyx",
+                field_name="velocity_x",
+                error_bound=eb,
+                target_bytes=target_bytes,
+                data_scale=ctx.config.data_scale,
+                seed=ctx.config.seed,
+            )
+            for eb in error_bounds
+        )
+        out[arch] = reports
+    return out
+
+
+def main(ctx: Optional[ExperimentContext] = None) -> str:
+    """Render the Fig. 6 bars as a table plus average savings."""
+    results = run(ctx)
+    chunks = []
+    for arch, reports in results.items():
+        rows = [
+            {
+                "error_bound": r.error_bound,
+                "base_clock_kj": r.baseline_energy_j / 1e3,
+                "tuned_kj": r.tuned_energy_j / 1e3,
+                "saved_kj": r.energy_saved_j / 1e3,
+                "saving_pct": r.energy_saving_fraction * 100,
+                "ratio": r.compression_ratio,
+            }
+            for r in reports
+        ]
+        avg_kj = float(np.mean([r.energy_saved_j for r in reports])) / 1e3
+        avg_pct = float(np.mean([r.energy_saving_fraction for r in reports])) * 100
+        chunks.append(
+            render_table(
+                rows,
+                title=f"FIG. 6 — 512 GB NYX dump energy on {arch} "
+                f"(avg saved {avg_kj:.2f} kJ, {avg_pct:.1f} %)",
+            )
+        )
+    chunks.append(
+        f"Paper: avg {PAPER_AVG_SAVED_KJ} kJ saved "
+        f"({PAPER_AVG_SAVING_FRACTION * 100:.0f} %) over the same bounds."
+    )
+    text = "\n\n".join(chunks)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Table I — data sets considered in the study."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.data.registry import table1_rows
+from repro.workflow.report import render_table
+
+__all__ = ["run", "main"]
+
+
+def run() -> Tuple[Dict[str, object], ...]:
+    """Rows of Table I (domain, dimensions, size of one field)."""
+    return table1_rows()
+
+
+def main() -> str:
+    """Render Table I as the paper prints it."""
+    text = render_table(run(), title="TABLE I — DATA SETS CONSIDERED IN STUDY")
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Table II — hardware utilized."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.hardware.cpu import table2_rows
+from repro.workflow.report import render_table
+
+__all__ = ["run", "main"]
+
+
+def run() -> Tuple[Dict[str, object], ...]:
+    """Rows of Table II (CloudLab node, CPU, clock range, series)."""
+    return table2_rows()
+
+
+def main() -> str:
+    """Render Table II as the paper prints it."""
+    text = render_table(run(), title="TABLE II — HARDWARE UTILIZED")
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Table III — model partitions produced for tuning."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.partitions import table3_rows
+from repro.workflow.report import render_table
+
+__all__ = ["run", "main"]
+
+
+def run() -> Tuple[Dict[str, str], ...]:
+    """Rows of Table III (model data, compressors, CPUs)."""
+    return table3_rows()
+
+
+def main() -> str:
+    """Render Table III as the paper prints it."""
+    text = render_table(run(), title="TABLE III — MODELS PRODUCED FOR TUNING")
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Table V — power models and goodness of fit for data transit.
+
+Paper reference values (scaled power, f in GHz):
+
+=========  ==========================  =======  =======  ======
+Model      P_Data(f)                   SSE      RMSE     R²
+=========  ==========================  =======  =======  ======
+Total      0.0133 f^3.379 + 0.7985     0.8446   0.05631  0.4361
+Broadwell  0.0261 f^3.395 + 0.7097     0.03423  0.01675  0.9578
+Skylake    9.095e-9 f^20.9 + 0.888     0.07875  0.02355  0.5992
+=========  ==========================  =======  =======  ======
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.experiments.context import ExperimentContext
+from repro.workflow.report import render_table
+
+__all__ = ["run", "main", "PAPER_ROWS"]
+
+PAPER_ROWS = (
+    {"model": "Total", "a": 0.0133, "b": 3.379, "c": 0.7985, "sse": 0.8446, "rmse": 0.05631, "r2": 0.4361},
+    {"model": "Broadwell", "a": 0.0261, "b": 3.395, "c": 0.7097, "sse": 0.03423, "rmse": 0.01675, "r2": 0.9578},
+    {"model": "Skylake", "a": 9.095e-9, "b": 20.9, "c": 0.888, "sse": 0.07875, "rmse": 0.02355, "r2": 0.5992},
+)
+
+
+def run(ctx: Optional[ExperimentContext] = None) -> Tuple[Dict[str, object], ...]:
+    """Reproduced Table V rows (measured on the simulated campaign)."""
+    ctx = ctx if ctx is not None else ExperimentContext()
+    return ctx.outcome.model_table("transit")
+
+
+def main(ctx: Optional[ExperimentContext] = None) -> str:
+    """Render reproduced vs. paper rows side by side."""
+    rows = run(ctx)
+    text = render_table(rows, title="TABLE V — MODELS AND GF DATA TRANSIT (reproduced)")
+    text += "\n\n" + render_table(PAPER_ROWS, title="Paper reference values")
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

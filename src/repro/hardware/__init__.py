@@ -1,0 +1,67 @@
+"""Simulated DVFS-capable HPC nodes with RAPL-style energy counters.
+
+The paper measures real CloudLab nodes with ``perf``/RAPL; this
+container has neither tunable frequencies nor energy counters, so this
+package provides the closest synthetic equivalent (DESIGN.md §2): CPU
+specifications for the paper's two chips, a ``cpufreq``-style frequency
+scaler, frequency-dependent power curves (paper-calibrated by default,
+physical CV²f for ablation), a wrapping µJ energy counter, and a
+``perf stat``-like repeat-and-average measurement wrapper.
+"""
+
+from repro.hardware.cpu import (
+    CpuSpec,
+    BROADWELL_D1548,
+    SKYLAKE_4114,
+    CASCADELAKE_6230,
+    KNOWN_CPUS,
+    get_cpu,
+    table2_rows,
+)
+from repro.hardware.dvfs import FrequencyScaler, Governor, FrequencyError
+from repro.hardware.workload import (
+    Workload,
+    WorkloadKind,
+    compression_workload,
+    decompression_workload,
+    read_workload,
+    write_workload,
+)
+from repro.hardware.powercurves import (
+    PowerCurve,
+    CalibratedPowerCurve,
+    PhysicalPowerCurve,
+)
+from repro.hardware.rapl import RaplCounter
+from repro.hardware.node import SimulatedNode, Measurement
+from repro.hardware.perf import PerfStat, PowerSample
+from repro.hardware.trace import PowerTrace, TraceRecorder
+
+__all__ = [
+    "CpuSpec",
+    "BROADWELL_D1548",
+    "SKYLAKE_4114",
+    "CASCADELAKE_6230",
+    "KNOWN_CPUS",
+    "get_cpu",
+    "table2_rows",
+    "FrequencyScaler",
+    "Governor",
+    "FrequencyError",
+    "Workload",
+    "WorkloadKind",
+    "compression_workload",
+    "decompression_workload",
+    "read_workload",
+    "write_workload",
+    "PowerCurve",
+    "CalibratedPowerCurve",
+    "PhysicalPowerCurve",
+    "RaplCounter",
+    "SimulatedNode",
+    "Measurement",
+    "PerfStat",
+    "PowerSample",
+    "PowerTrace",
+    "TraceRecorder",
+]

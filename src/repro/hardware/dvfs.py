@@ -1,0 +1,79 @@
+"""Frequency scaling: a ``cpufreq-set`` emulation.
+
+The paper pins all cores to one frequency via ``cpufreq-set`` before
+each measurement. :class:`FrequencyScaler` reproduces that control
+surface: explicit userspace pinning plus the standard governor
+shortcuts, with grid snapping and range validation.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.hardware.cpu import CpuSpec
+
+__all__ = ["Governor", "FrequencyError", "FrequencyScaler"]
+
+
+class FrequencyError(ValueError):
+    """Raised for out-of-range or otherwise invalid frequency requests."""
+
+
+class Governor(enum.Enum):
+    """Subset of Linux cpufreq governors the experiments use."""
+
+    USERSPACE = "userspace"
+    PERFORMANCE = "performance"
+    POWERSAVE = "powersave"
+
+
+class FrequencyScaler:
+    """Tracks and validates the pinned core frequency of a CPU."""
+
+    def __init__(self, cpu: CpuSpec) -> None:
+        self.cpu = cpu
+        self._governor = Governor.PERFORMANCE
+        self._freq_ghz = cpu.fmax_ghz
+
+    @property
+    def governor(self) -> Governor:
+        """Currently active governor."""
+        return self._governor
+
+    @property
+    def current_ghz(self) -> float:
+        """Frequency the cores are pinned to, in GHz."""
+        return self._freq_ghz
+
+    def cpufreq_set(self, freq_ghz: float) -> float:
+        """Pin all cores to *freq_ghz* (snapped to the DVFS grid).
+
+        Switches the governor to ``userspace``, like the real tool.
+        Returns the snapped frequency actually applied.
+        """
+        try:
+            snapped = self.cpu.snap_frequency(freq_ghz)
+        except ValueError as exc:
+            raise FrequencyError(str(exc)) from exc
+        self._governor = Governor.USERSPACE
+        self._freq_ghz = snapped
+        return snapped
+
+    def set_governor(self, governor: Governor) -> float:
+        """Apply a governor; returns the resulting pinned frequency.
+
+        ``performance`` pins fmax, ``powersave`` pins fmin, and
+        ``userspace`` keeps the current frequency.
+        """
+        if not isinstance(governor, Governor):
+            raise FrequencyError(f"unknown governor {governor!r}")
+        self._governor = governor
+        if governor is Governor.PERFORMANCE:
+            self._freq_ghz = self.cpu.fmax_ghz
+        elif governor is Governor.POWERSAVE:
+            self._freq_ghz = self.cpu.fmin_ghz
+        return self._freq_ghz
+
+    def reset(self) -> float:
+        """Back to the boot default (performance governor at fmax)."""
+        return self.set_governor(Governor.PERFORMANCE)

@@ -1,0 +1,63 @@
+"""RAPL-style energy counter emulation.
+
+Intel RAPL exposes package energy as a monotonically increasing counter
+in fixed µJ units that wraps around a 32-bit register. ``perf stat -e
+energy-pkg`` reads it before/after a run and subtracts modulo the wrap.
+:class:`RaplCounter` reproduces those semantics — unit quantization,
+wraparound, and wrap-aware deltas — so the measurement layer exercises
+the same failure modes real tooling has to handle.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["RaplCounter"]
+
+#: Energy status unit: 2**-16 J, the common RAPL ESU (≈15.3 µJ).
+DEFAULT_UNIT_JOULES = 2.0**-16
+
+#: The MSR counter is 32 bits wide in energy-status units.
+COUNTER_WRAP = 2**32
+
+
+class RaplCounter:
+    """Monotone, wrapping, quantized energy accumulator."""
+
+    def __init__(self, unit_joules: float = DEFAULT_UNIT_JOULES) -> None:
+        check_positive(unit_joules, "unit_joules")
+        self.unit_joules = float(unit_joules)
+        self._raw = 0  # unbounded internal tally, in units
+        self._residual = 0.0  # sub-unit energy not yet counted
+
+    def accumulate(self, energy_joules: float) -> None:
+        """Add dissipated energy (quantized to counter units)."""
+        check_nonnegative(energy_joules, "energy_joules")
+        total = self._residual + energy_joules / self.unit_joules
+        ticks = int(total)
+        self._residual = total - ticks
+        self._raw += ticks
+
+    def read(self) -> int:
+        """Current 32-bit register value, in energy-status units."""
+        return self._raw % COUNTER_WRAP
+
+    def read_joules(self) -> float:
+        """Register value converted to joules (wraps like the register!)."""
+        return self.read() * self.unit_joules
+
+    def delta_joules(self, before: int, after: int) -> float:
+        """Energy between two :meth:`read` values, handling one wrap.
+
+        Like real tooling, this is only correct if less than one full
+        wrap (~65.5 kJ at the default unit) elapsed between reads.
+        """
+        for reading, name in ((before, "before"), (after, "after")):
+            if not 0 <= reading < COUNTER_WRAP:
+                raise ValueError(f"{name} reading {reading} outside register range")
+        return ((after - before) % COUNTER_WRAP) * self.unit_joules
+
+    @property
+    def wraps(self) -> int:
+        """Number of times the 32-bit register has wrapped so far."""
+        return self._raw // COUNTER_WRAP

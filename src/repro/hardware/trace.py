@@ -1,0 +1,106 @@
+"""Time-resolved power traces of pipeline executions.
+
+``perf`` reports one energy total per run; power analysts usually look
+at the *trace* — package power sampled at a fixed interval — to see
+phase structure (the compression plateau, the write plateau, frequency
+steps between them). :class:`TraceRecorder` replays a sequence of
+(workload, frequency) stages on a node's ground-truth curves and emits
+the sampled trace, with the same multiplicative noise model applied per
+sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.hardware.node import SimulatedNode
+from repro.hardware.workload import Workload
+from repro.utils.validation import check_positive
+
+__all__ = ["PowerTrace", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class PowerTrace:
+    """Sampled package power over a multi-stage execution."""
+
+    times_s: np.ndarray
+    power_w: np.ndarray
+    #: Per-sample stage label indices into :attr:`stages`.
+    stage_ids: np.ndarray
+    stages: Tuple[str, ...]
+    interval_s: float
+
+    def __post_init__(self):
+        if not (self.times_s.shape == self.power_w.shape == self.stage_ids.shape):
+            raise ValueError("trace arrays must share a shape")
+
+    @property
+    def duration_s(self) -> float:
+        return float(self.times_s[-1] + self.interval_s) if self.times_s.size else 0.0
+
+    def energy_j(self) -> float:
+        """Left-Riemann integral of the trace (what a poller would report)."""
+        return float(self.power_w.sum() * self.interval_s)
+
+    def stage_energy_j(self, stage: str) -> float:
+        """Energy attributed to one named stage."""
+        if stage not in self.stages:
+            raise KeyError(f"unknown stage {stage!r}; stages: {self.stages}")
+        sid = self.stages.index(stage)
+        mask = self.stage_ids == sid
+        return float(self.power_w[mask].sum() * self.interval_s)
+
+    def mean_power_w(self, stage: str | None = None) -> float:
+        """Average power, optionally restricted to one stage."""
+        if stage is None:
+            return float(self.power_w.mean())
+        sid = self.stages.index(stage)
+        return float(self.power_w[self.stage_ids == sid].mean())
+
+
+class TraceRecorder:
+    """Samples ground-truth power through a staged execution."""
+
+    def __init__(self, node: SimulatedNode, interval_s: float = 0.5) -> None:
+        check_positive(interval_s, "interval_s")
+        self.node = node
+        self.interval_s = float(interval_s)
+
+    def record(
+        self, stages: Sequence[Tuple[str, Workload, float]]
+    ) -> PowerTrace:
+        """Replay ``(label, workload, freq_ghz)`` stages back to back.
+
+        Each stage runs for its ground-truth runtime at its pinned
+        frequency; every sample gets independent power noise (the
+        node's own noise model).
+        """
+        if not stages:
+            raise ValueError("at least one stage is required")
+        labels: List[str] = []
+        times: List[np.ndarray] = []
+        powers: List[np.ndarray] = []
+        ids: List[np.ndarray] = []
+        t0 = 0.0
+        for idx, (label, workload, freq_ghz) in enumerate(stages):
+            labels.append(label)
+            runtime = self.node.true_runtime_s(workload, freq_ghz)
+            true_power = self.node.true_power_w(workload, freq_ghz)
+            n = max(1, int(round(runtime / self.interval_s)))
+            ts = t0 + self.interval_s * np.arange(n)
+            noise = np.array([self.node._jitter(self.node.power_noise) for _ in range(n)])
+            times.append(ts)
+            powers.append(true_power * noise)
+            ids.append(np.full(n, idx, dtype=np.int64))
+            t0 = float(ts[-1] + self.interval_s)
+        return PowerTrace(
+            times_s=np.concatenate(times),
+            power_w=np.concatenate(powers),
+            stage_ids=np.concatenate(ids),
+            stages=tuple(labels),
+            interval_s=self.interval_s,
+        )

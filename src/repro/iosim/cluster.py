@@ -1,0 +1,170 @@
+"""Cluster-scale data dumping with shared-NFS contention.
+
+The paper studies one node; at exascale, many nodes dump snapshots
+concurrently through shared storage. This extension models N identical
+clients writing to one :class:`~repro.iosim.nfs.NfsTarget`:
+
+* compression is node-local — costs are independent of N;
+* writes contend for the server capacity (network ∧ disk). Each client
+  sustains ``min(cpu_copy_rate, capacity / N)``; once the shared side
+  saturates, the client CPU stops being the bottleneck, so the write
+  stage's DVFS sensitivity is derated by
+  :meth:`~repro.iosim.nfs.NfsTarget.cpu_bound_fraction`.
+
+The interesting emergent behaviour (see the extension bench): under
+contention, lowering the write frequency becomes *free* — runtime is
+pinned by the network — so per-node tuning savings grow with N.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compressors.base import Compressor
+from repro.hardware.cpu import CpuSpec
+from repro.hardware.node import SimulatedNode
+from repro.hardware.workload import (
+    WorkloadKind,
+    compression_workload,
+    write_workload,
+)
+from repro.iosim.dumper import DumpReport, StageReport
+from repro.iosim.nfs import NfsTarget
+from repro.utils.validation import check_positive
+
+__all__ = ["ClusterDumpReport", "Cluster"]
+
+_KIND_BY_CODEC = {
+    "sz": WorkloadKind.COMPRESS_SZ,
+    "zfp": WorkloadKind.COMPRESS_ZFP,
+}
+
+
+@dataclass(frozen=True)
+class ClusterDumpReport:
+    """Aggregate outcome of a synchronized cluster dump."""
+
+    per_node: Tuple[DumpReport, ...]
+    nodes: int
+    cpu_bound_fraction: float
+
+    @property
+    def total_energy_j(self) -> float:
+        """Cluster-wide energy (sum over nodes)."""
+        return float(sum(r.total_energy_j for r in self.per_node))
+
+    @property
+    def makespan_s(self) -> float:
+        """Wall time of the synchronized dump (slowest node per phase)."""
+        return float(
+            max(r.compress.runtime_s for r in self.per_node)
+            + max(r.write.runtime_s for r in self.per_node)
+        )
+
+    @property
+    def aggregate_write_bandwidth_bps(self) -> float:
+        """Achieved cluster write bandwidth during the write phase."""
+        total_bytes = sum(r.write.bytes_processed for r in self.per_node)
+        write_time = max(r.write.runtime_s for r in self.per_node)
+        return total_bytes / write_time
+
+
+class Cluster:
+    """N identical simulated nodes sharing one NFS target."""
+
+    def __init__(
+        self,
+        cpu: CpuSpec,
+        n_nodes: int,
+        nfs: Optional[NfsTarget] = None,
+        seed: int = 0,
+        repeats: int = 5,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        self.nfs = nfs if nfs is not None else NfsTarget()
+        self.nodes = tuple(
+            SimulatedNode(cpu, seed=seed + i) for i in range(n_nodes)
+        )
+        self.repeats = int(repeats)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def _run_stage(self, node: SimulatedNode, workload, freq_ghz: float):
+        node.set_frequency(freq_ghz)
+        runs = [node.run(workload) for _ in range(self.repeats)]
+        runtime = float(np.mean([m.runtime_s for m in runs]))
+        energy = float(np.mean([m.energy_j for m in runs]))
+        return runs[0].freq_ghz, runtime, energy
+
+    def dump_all(
+        self,
+        compressor: Compressor,
+        sample_field: np.ndarray,
+        error_bound: float,
+        bytes_per_node: int,
+        compress_freq_ghz: float | None = None,
+        write_freq_ghz: float | None = None,
+    ) -> ClusterDumpReport:
+        """Every node compresses and writes *bytes_per_node* concurrently.
+
+        Frequencies default to the base clock; the same pinned values
+        apply cluster-wide (the realistic deployment: one tuning policy
+        rolled out fleet-wide).
+        """
+        check_positive(bytes_per_node, "bytes_per_node")
+        if compressor.name not in _KIND_BY_CODEC:
+            raise KeyError(f"no workload kind for codec {compressor.name!r}")
+
+        buf = compressor.compress(sample_field, error_bound)
+        ratio = buf.ratio
+        compressed_bytes = max(1, int(round(bytes_per_node / ratio)))
+
+        n = self.n_nodes
+        bw = self.nfs.effective_bandwidth_bps(concurrent_clients=n)
+        cpu_frac = self.nfs.cpu_bound_fraction(concurrent_clients=n)
+
+        reports = []
+        for i, node in enumerate(self.nodes):
+            cpu = node.cpu
+            f_c = cpu.fmax_ghz if compress_freq_ghz is None else compress_freq_ghz
+            f_w = cpu.fmax_ghz if write_freq_ghz is None else write_freq_ghz
+
+            wl_c = compression_workload(
+                _KIND_BY_CODEC[compressor.name], bytes_per_node, error_bound,
+                name=f"{compressor.name}-cluster-dump",
+            )
+            fc, t_c, e_c = self._run_stage(node, wl_c, f_c)
+
+            wl_w = write_workload(compressed_bytes, bw, name=f"cluster-write/{n}")
+            # Contention derates how much the client CPU matters.
+            base_s = wl_w.sensitivity(cpu)
+            wl_w = replace(wl_w, sensitivity_override=base_s * cpu_frac)
+            fw, t_w, e_w = self._run_stage(node, wl_w, f_w)
+
+            reports.append(
+                DumpReport(
+                    compress=StageReport(
+                        stage="compress", freq_ghz=fc,
+                        bytes_processed=bytes_per_node,
+                        runtime_s=t_c, energy_j=e_c,
+                    ),
+                    write=StageReport(
+                        stage="write", freq_ghz=fw,
+                        bytes_processed=compressed_bytes,
+                        runtime_s=t_w, energy_j=e_w,
+                    ),
+                    compression_ratio=ratio,
+                    error_bound=error_bound,
+                )
+            )
+        return ClusterDumpReport(
+            per_node=tuple(reports), nodes=n, cpu_bound_fraction=cpu_frac
+        )

@@ -1,0 +1,115 @@
+"""Read-then-decompress restore pipeline (extension of Section VI-B).
+
+The inverse of :class:`~repro.iosim.dumper.DataDumper`: fetch the
+compressed bytes from the NFS, then decompress back to the full volume.
+Stage order and the per-stage frequency control mirror the dumper so
+the same tuning methodology applies to the restore path the paper
+leaves to future work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compressors.base import Compressor
+from repro.hardware.node import SimulatedNode
+from repro.hardware.workload import WorkloadKind, decompression_workload, read_workload
+from repro.iosim.dumper import DumpReport, StageReport
+from repro.iosim.nfs import NfsTarget
+from repro.utils.validation import check_positive
+
+__all__ = ["RestoreReport", "DataLoader"]
+
+_DEC_KIND_BY_CODEC = {
+    "sz": WorkloadKind.DECOMPRESS_SZ,
+    "zfp": WorkloadKind.DECOMPRESS_ZFP,
+}
+
+
+class RestoreReport(DumpReport):
+    """Restore outcome; reuses the dump report structure with the
+    ``compress`` slot holding the decompression stage and ``write``
+    holding the read stage."""
+
+    @property
+    def decompress(self) -> StageReport:
+        return self.compress
+
+    @property
+    def read(self) -> StageReport:
+        return self.write
+
+
+class DataLoader:
+    """Runs the read-then-decompress pipeline on a simulated node."""
+
+    def __init__(
+        self, node: SimulatedNode, nfs: NfsTarget | None = None, repeats: int = 10
+    ) -> None:
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        self.node = node
+        self.nfs = nfs if nfs is not None else NfsTarget()
+        self.repeats = int(repeats)
+
+    def _run_stage(self, workload, freq_ghz: float):
+        self.node.set_frequency(freq_ghz)
+        runs = [self.node.run(workload) for _ in range(self.repeats)]
+        runtime = float(np.mean([m.runtime_s for m in runs]))
+        energy = float(np.mean([m.energy_j for m in runs]))
+        return runs[0].freq_ghz, runtime, energy
+
+    def restore(
+        self,
+        compressor: Compressor,
+        sample_field: np.ndarray,
+        error_bound: float,
+        target_bytes: int,
+        read_freq_ghz: float | None = None,
+        decompress_freq_ghz: float | None = None,
+    ) -> RestoreReport:
+        """Read and decompress *target_bytes* worth of reconstructed data.
+
+        The real codec runs on *sample_field* to obtain the compressed
+        size that must be fetched from the NFS.
+        """
+        check_positive(target_bytes, "target_bytes")
+        if compressor.name not in _DEC_KIND_BY_CODEC:
+            raise KeyError(f"no workload kind for codec {compressor.name!r}")
+
+        buf = compressor.compress(sample_field, error_bound)
+        ratio = buf.ratio
+        compressed_bytes = max(1, int(round(target_bytes / ratio)))
+
+        cpu = self.node.cpu
+        f_r = cpu.fmax_ghz if read_freq_ghz is None else read_freq_ghz
+        f_d = cpu.fmax_ghz if decompress_freq_ghz is None else decompress_freq_ghz
+
+        wl_r = read_workload(compressed_bytes, self.nfs.effective_bandwidth_bps(),
+                             name="restore-read")
+        fr_snapped, t_r, e_r = self._run_stage(wl_r, f_r)
+
+        wl_d = decompression_workload(
+            _DEC_KIND_BY_CODEC[compressor.name], target_bytes, error_bound,
+            name=f"{compressor.name}-restore",
+        )
+        fd_snapped, t_d, e_d = self._run_stage(wl_d, f_d)
+
+        return RestoreReport(
+            compress=StageReport(
+                stage="decompress",
+                freq_ghz=fd_snapped,
+                bytes_processed=target_bytes,
+                runtime_s=t_d,
+                energy_j=e_d,
+            ),
+            write=StageReport(
+                stage="read",
+                freq_ghz=fr_snapped,
+                bytes_processed=compressed_bytes,
+                runtime_s=t_r,
+                energy_j=e_r,
+            ),
+            compression_ratio=ratio,
+            error_bound=error_bound,
+        )

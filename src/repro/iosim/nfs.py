@@ -1,0 +1,104 @@
+"""Network file system model.
+
+Single-core NFS writes are bottlenecked by the slowest of three stages:
+the network link (10 Gbps Ethernet in the paper), the server's disk
+array, and the client CPU's ability to drive the protocol + copy path.
+Only the CPU stage scales with core frequency; the workload layer
+(:func:`repro.hardware.workload.write_workload`) turns the resulting
+base-clock effective bandwidth into a DVFS-sensitive runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["NfsTarget"]
+
+
+@dataclass(frozen=True)
+class NfsTarget:
+    """An NFS mount reachable over a network link.
+
+    Attributes
+    ----------
+    network_gbps:
+        Link speed in Gbit/s (paper: 10 Gbps Ethernet).
+    disk_mbps:
+        Server-side sustained write rate in MB/s.
+    cpu_copy_mbps:
+        Client-side single-core copy/protocol throughput at the
+        reference (Broadwell base) clock, MB/s.
+    per_op_latency_ms:
+        Fixed per-write-call overhead (RPC round trip + commit).
+    op_size_mb:
+        Size of each write call (NFS wsize aggregation), MB.
+    """
+
+    network_gbps: float = 10.0
+    disk_mbps: float = 1200.0
+    cpu_copy_mbps: float = 700.0
+    per_op_latency_ms: float = 0.35
+    op_size_mb: float = 1.0
+
+    def __post_init__(self):
+        check_positive(self.network_gbps, "network_gbps")
+        check_positive(self.disk_mbps, "disk_mbps")
+        check_positive(self.cpu_copy_mbps, "cpu_copy_mbps")
+        check_nonnegative(self.per_op_latency_ms, "per_op_latency_ms")
+        check_positive(self.op_size_mb, "op_size_mb")
+
+    @property
+    def network_mbps(self) -> float:
+        """Link speed converted to MB/s (1 MB = 1e6 B)."""
+        return self.network_gbps * 1e3 / 8.0
+
+    @property
+    def shared_capacity_mbps(self) -> float:
+        """Server-side capacity all clients contend for (network ∧ disk)."""
+        return min(self.network_mbps, self.disk_mbps)
+
+    def client_rate_mbps(self, concurrent_clients: int = 1) -> float:
+        """Per-client sustainable rate with *concurrent_clients* writers.
+
+        Each client is limited by its own CPU copy path and by an equal
+        share of the server capacity; the per-op latency derate applies
+        to whichever is smaller.
+        """
+        if concurrent_clients < 1:
+            raise ValueError(
+                f"concurrent_clients must be >= 1, got {concurrent_clients}"
+            )
+        pipeline_mbps = min(
+            self.cpu_copy_mbps, self.shared_capacity_mbps / concurrent_clients
+        )
+        seconds_per_mb = 1.0 / pipeline_mbps + (
+            self.per_op_latency_ms / 1e3 / self.op_size_mb
+        )
+        return 1e6 / seconds_per_mb / 1e6
+
+    def effective_bandwidth_bps(self, concurrent_clients: int = 1) -> float:
+        """Sustained single-core write bandwidth at reference clock, B/s."""
+        return self.client_rate_mbps(concurrent_clients) * 1e6
+
+    def cpu_bound_fraction(self, concurrent_clients: int = 1) -> float:
+        """How much of the write path the client CPU limits, in [0, 1].
+
+        1 when the client copy path is the bottleneck (frequency fully
+        matters), shrinking toward 0 as the shared server capacity
+        saturates (frequency stops mattering). Used to derate the write
+        workload's DVFS sensitivity under contention.
+        """
+        if concurrent_clients < 1:
+            raise ValueError(
+                f"concurrent_clients must be >= 1, got {concurrent_clients}"
+            )
+        share = self.shared_capacity_mbps / concurrent_clients
+        return float(min(1.0, share / self.cpu_copy_mbps))
+
+    def write_time_s(self, nbytes: int) -> float:
+        """Reference-clock wall time to write *nbytes*."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        return nbytes / self.effective_bandwidth_bps()

@@ -1,0 +1,40 @@
+"""Shared utilities: validation, bit-level I/O, and statistics primitives."""
+
+from repro.utils.validation import (
+    as_float_array,
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_shape_dims,
+)
+from repro.utils.bitio import BitWriter, BitReader
+from repro.utils.stats import (
+    ConfidenceBand,
+    GoodnessOfFit,
+    confidence_band,
+    goodness_of_fit,
+    mean_confidence_interval,
+    r_squared,
+    rmse,
+    sse,
+)
+
+__all__ = [
+    "as_float_array",
+    "check_finite",
+    "check_in_range",
+    "check_nonnegative",
+    "check_positive",
+    "check_shape_dims",
+    "BitWriter",
+    "BitReader",
+    "ConfidenceBand",
+    "GoodnessOfFit",
+    "confidence_band",
+    "goodness_of_fit",
+    "mean_confidence_interval",
+    "r_squared",
+    "rmse",
+    "sse",
+]

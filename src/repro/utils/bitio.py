@@ -1,0 +1,144 @@
+"""Bit-level I/O on top of NumPy bit packing.
+
+The Huffman coder and the ZFP bit-plane coder both need a bit stream.
+``BitWriter`` accumulates bits in Python-int chunks and packs them with
+``np.packbits`` on flush; ``BitReader`` unpacks once and serves slices,
+which keeps the per-bit Python overhead low (guides: vectorize, avoid
+per-element Python loops where the layout allows it).
+
+Bit order is MSB-first within each byte, matching ``np.packbits``'s
+default ``bitorder='big'``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["BitWriter", "BitReader"]
+
+
+class BitWriter:
+    """Append-only bit stream writer.
+
+    Bits are buffered as ``uint8`` values (one per bit) and packed to
+    bytes only when :meth:`getvalue` is called.
+    """
+
+    def __init__(self) -> None:
+        self._chunks: list[np.ndarray] = []
+        self._nbits = 0
+
+    def __len__(self) -> int:
+        """Number of bits written so far."""
+        return self._nbits
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        self.write_bits_array(np.array([bit], dtype=np.uint8))
+
+    def write_bits_array(self, bits: Sequence[int]) -> None:
+        """Append an array of bits; each element must be 0 or 1."""
+        arr = np.asarray(bits, dtype=np.uint8).ravel()
+        if arr.size == 0:
+            return
+        if arr.max(initial=0) > 1:
+            raise ValueError("bits must be 0 or 1")
+        self._chunks.append(arr)
+        self._nbits += arr.size
+
+    def write_uint(self, value: int, nbits: int) -> None:
+        """Append *value* as an unsigned big-endian field of *nbits* bits."""
+        if nbits <= 0:
+            raise ValueError(f"nbits must be positive, got {nbits}")
+        value = int(value)
+        if value < 0 or value >> nbits:
+            raise ValueError(f"value {value} does not fit in {nbits} bits")
+        shifts = np.arange(nbits - 1, -1, -1, dtype=np.uint64)
+        bits = (np.uint64(value) >> shifts) & np.uint64(1)
+        self._chunks.append(bits.astype(np.uint8))
+        self._nbits += nbits
+
+    def write_uint_array(self, values: Sequence[int], nbits: int) -> None:
+        """Append each value in *values* as an *nbits*-bit unsigned field.
+
+        Vectorized across values: one reshape + broadcasted shift.
+        """
+        vals = np.asarray(values, dtype=np.uint64).ravel()
+        if vals.size == 0:
+            return
+        if nbits <= 0 or nbits > 64:
+            raise ValueError(f"nbits must lie in [1, 64], got {nbits}")
+        if nbits < 64 and np.any(vals >> np.uint64(nbits)):
+            raise ValueError(f"some values do not fit in {nbits} bits")
+        shifts = np.arange(nbits - 1, -1, -1, dtype=np.uint64)
+        bits = ((vals[:, None] >> shifts[None, :]) & np.uint64(1)).astype(np.uint8)
+        self._chunks.append(bits.ravel())
+        self._nbits += vals.size * nbits
+
+    def getvalue(self) -> bytes:
+        """Pack the stream into bytes (zero-padded to a byte boundary)."""
+        if not self._chunks:
+            return b""
+        bits = np.concatenate(self._chunks)
+        return np.packbits(bits).tobytes()
+
+
+class BitReader:
+    """Sequential reader over a byte string produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes, nbits: int | None = None) -> None:
+        buf = np.frombuffer(bytes(data), dtype=np.uint8)
+        self._bits = np.unpackbits(buf)
+        if nbits is not None:
+            if nbits > self._bits.size:
+                raise ValueError(
+                    f"nbits={nbits} exceeds available {self._bits.size} bits"
+                )
+            self._bits = self._bits[:nbits]
+        self._pos = 0
+
+    def __len__(self) -> int:
+        """Total number of bits in the stream."""
+        return int(self._bits.size)
+
+    @property
+    def remaining(self) -> int:
+        """Bits left to read."""
+        return int(self._bits.size - self._pos)
+
+    def _take(self, n: int) -> np.ndarray:
+        if n < 0:
+            raise ValueError(f"cannot read a negative bit count ({n})")
+        if self._pos + n > self._bits.size:
+            raise EOFError(
+                f"bit stream exhausted: wanted {n} bits, {self.remaining} left"
+            )
+        out = self._bits[self._pos : self._pos + n]
+        self._pos += n
+        return out
+
+    def read_bit(self) -> int:
+        """Read one bit."""
+        return int(self._take(1)[0])
+
+    def read_bits_array(self, n: int) -> np.ndarray:
+        """Read *n* bits as a ``uint8`` array of 0/1 values."""
+        return self._take(n).copy()
+
+    def read_uint(self, nbits: int) -> int:
+        """Read an unsigned big-endian field of *nbits* bits."""
+        bits = self._take(nbits).astype(np.uint64)
+        shifts = np.arange(nbits - 1, -1, -1, dtype=np.uint64)
+        return int(np.sum(bits << shifts))
+
+    def read_uint_array(self, count: int, nbits: int) -> np.ndarray:
+        """Read *count* unsigned fields of *nbits* bits each (vectorized)."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if nbits <= 0 or nbits > 64:
+            raise ValueError(f"nbits must lie in [1, 64], got {nbits}")
+        bits = self._take(count * nbits).astype(np.uint64).reshape(count, nbits)
+        shifts = np.arange(nbits - 1, -1, -1, dtype=np.uint64)
+        return np.sum(bits << shifts[None, :], axis=1)

@@ -1,0 +1,81 @@
+"""Vectorized traversal of jump chains.
+
+Decoding a stream of variable-length chunks (Huffman codes, ZFP plane
+records) is inherently sequential: the next chunk starts where the
+current one ends. Doing that with a per-symbol Python loop is orders of
+magnitude too slow for realistic arrays, so we use pointer doubling:
+
+1. Precompute, for *every* bit position, where a chunk starting there
+   would end (``jump_targets`` — fully vectorizable).
+2. Extract the actually-visited chain with O(log n) rounds of bulk
+   gathers: if ``chain`` holds the first ``m`` positions, then
+   ``jump^m`` applied to it yields the next ``m``.
+
+Total work is O(n) gathers over O(log n) rounds, all inside NumPy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["follow_chain"]
+
+
+def follow_chain(jump_targets: np.ndarray, start: int, count: int) -> np.ndarray:
+    """Return the first *count* positions of the chain ``p -> jump_targets[p]``.
+
+    Parameters
+    ----------
+    jump_targets:
+        1-D integer array; ``jump_targets[p]`` is the position following
+        ``p``. Positions at or past ``len(jump_targets)`` terminate the
+        chain (the caller guarantees the chain stays in bounds for the
+        requested *count*).
+    start:
+        First chain position (included in the output).
+    count:
+        Number of chain positions to return.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int64`` array of length *count*: ``start, j[start], j[j[start]], ...``
+
+    Raises
+    ------
+    ValueError
+        If the chain escapes the valid index range before *count*
+        positions have been produced (corrupt stream).
+    """
+    jumps = np.ascontiguousarray(jump_targets, dtype=np.int64)
+    n = jumps.size
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    if not 0 <= start < n:
+        raise ValueError(f"start={start} out of range for chain of length {n}")
+
+    # `doubled` maps p -> position 2^k chunks ahead; out-of-range targets
+    # are clamped to a sentinel slot that self-loops at `n` so corrupt
+    # streams surface as an explicit error instead of a wild gather.
+    sentinel = n
+    table = np.empty(n + 1, dtype=np.int64)
+    table[:n] = np.where((jumps >= 0) & (jumps <= n), jumps, sentinel)
+    table[sentinel] = sentinel
+
+    # Invariant at the top of each round: chain[0:filled] is correct and
+    # `table` advances a position by exactly `filled` chunks, so
+    # table[chain[0:take]] yields chain[filled:filled+take].
+    chain = np.empty(count, dtype=np.int64)
+    chain[0] = start
+    filled = 1
+    while filled < count:
+        take = min(filled, count - filled)
+        chain[filled : filled + take] = table[chain[:take]]
+        filled += take
+        if filled < count:
+            table = table[table]
+    if np.any(chain >= n):
+        raise ValueError("jump chain escaped the stream: corrupt input")
+    return chain

@@ -1,0 +1,93 @@
+"""Argument-validation helpers used across the library.
+
+All validators raise :class:`ValueError` (or :class:`TypeError` for type
+mismatches) with messages that name the offending parameter, so call sites
+can stay one-line.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "check_finite",
+    "check_positive",
+    "check_nonnegative",
+    "check_in_range",
+    "check_shape_dims",
+    "as_float_array",
+]
+
+
+def check_finite(value, name: str = "value") -> None:
+    """Raise ``ValueError`` if *value* (scalar or array) contains NaN/inf."""
+    arr = np.asarray(value)
+    if not np.issubdtype(arr.dtype, np.number):
+        raise TypeError(f"{name} must be numeric, got dtype {arr.dtype}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must be finite (no NaN/inf values)")
+
+
+def check_positive(value: float, name: str = "value") -> None:
+    """Raise ``ValueError`` unless the scalar *value* is strictly positive."""
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+
+
+def check_nonnegative(value: float, name: str = "value") -> None:
+    """Raise ``ValueError`` unless the scalar *value* is >= 0."""
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+
+
+def check_in_range(
+    value: float,
+    lo: float,
+    hi: float,
+    name: str = "value",
+    inclusive: bool = True,
+) -> None:
+    """Raise ``ValueError`` unless ``lo <= value <= hi`` (or strict if not inclusive)."""
+    ok = (lo <= value <= hi) if inclusive else (lo < value < hi)
+    if not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ValueError(
+            f"{name} must lie in {bracket[0]}{lo}, {hi}{bracket[1]}, got {value!r}"
+        )
+
+
+def check_shape_dims(
+    shape: Sequence[int],
+    allowed_ndims: Optional[Iterable[int]] = None,
+    name: str = "shape",
+) -> Tuple[int, ...]:
+    """Validate an array shape: positive integer extents, optional ndim set.
+
+    Returns the shape as a tuple of ints.
+    """
+    shape = tuple(int(s) for s in shape)
+    if allowed_ndims is not None and len(shape) not in set(allowed_ndims):
+        raise ValueError(
+            f"{name} must have dimensionality in {sorted(set(allowed_ndims))}, "
+            f"got {len(shape)}-D shape {shape}"
+        )
+    if any(s <= 0 for s in shape):
+        raise ValueError(f"{name} extents must be positive, got {shape}")
+    return shape
+
+
+def as_float_array(data, name: str = "data", dtype=None) -> np.ndarray:
+    """Coerce *data* to a C-contiguous floating-point ndarray.
+
+    ``float32`` input is preserved; everything else is promoted to
+    ``float64`` unless *dtype* overrides it.
+    """
+    arr = np.asarray(data)
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if dtype is None:
+        dtype = arr.dtype if arr.dtype in (np.float32, np.float64) else np.float64
+    arr = np.ascontiguousarray(arr, dtype=dtype)
+    return arr

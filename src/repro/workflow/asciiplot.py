@@ -1,0 +1,87 @@
+"""ASCII line charts for the characteristic curves.
+
+The benchmark harness is terminal-only, so the figures render as
+character rasters: one mark per series, shared axes, left-side y ticks.
+Good enough to see the critical power slope without matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_chart"]
+
+_MARKS = "*o+x#@%&"
+
+
+def ascii_chart(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render line series as an ASCII chart.
+
+    Each series gets one mark character; overlapping points show the
+    later series' mark. Axes are annotated with min/max ticks.
+    """
+    if width < 16 or height < 4:
+        raise ValueError("chart must be at least 16x4 characters")
+    if not series:
+        raise ValueError("at least one series is required")
+    x = np.asarray(list(x), dtype=np.float64)
+    if x.size < 2:
+        raise ValueError("need at least 2 x values")
+    cols = {}
+    for name, vals in series.items():
+        v = np.asarray(list(vals), dtype=np.float64)
+        if v.shape != x.shape:
+            raise ValueError(f"series {name!r} length {v.size} != x length {x.size}")
+        cols[name] = v
+
+    all_y = np.concatenate(list(cols.values()))
+    y_min, y_max = float(all_y.min()), float(all_y.max())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(x.min()), float(x.max())
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, v) in enumerate(cols.items()):
+        mark = _MARKS[si % len(_MARKS)]
+        px = np.round((x - x_min) / (x_max - x_min) * (width - 1)).astype(int)
+        py = np.round((v - y_min) / (y_max - y_min) * (height - 1)).astype(int)
+        # Connect consecutive points with linear interpolation.
+        for i in range(x.size - 1):
+            steps = max(abs(px[i + 1] - px[i]), abs(py[i + 1] - py[i]), 1)
+            for t in range(steps + 1):
+                cx = px[i] + (px[i + 1] - px[i]) * t // steps
+                cy = py[i] + (py[i + 1] - py[i]) * t // steps
+                grid[height - 1 - cy][cx] = mark
+
+    y_tick_w = max(len(f"{y_max:.3g}"), len(f"{y_min:.3g}"))
+    lines = []
+    if title:
+        lines.append(title)
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            tick = f"{y_max:.3g}".rjust(y_tick_w)
+        elif row_idx == height - 1:
+            tick = f"{y_min:.3g}".rjust(y_tick_w)
+        else:
+            tick = " " * y_tick_w
+        lines.append(f"{tick} |" + "".join(row))
+    lines.append(" " * y_tick_w + " +" + "-" * width)
+    x_axis = f"{x_min:.3g}".ljust(width - len(f"{x_max:.3g}")) + f"{x_max:.3g}"
+    lines.append(" " * (y_tick_w + 2) + x_axis)
+    if x_label:
+        lines.append(" " * (y_tick_w + 2) + x_label.center(width))
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]}={name}" for i, name in enumerate(cols)
+    )
+    lines.append((y_label + "  " if y_label else "") + legend)
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Campaign artifact export: one call → a reproducible results directory.
+
+Writes everything a downstream analysis needs from a characterization
+run: raw sweep records (CSV), fitted models (versioned JSON bundle),
+the rendered Table IV/V text, and a manifest describing the
+configuration — so a campaign can be archived, diffed, and re-loaded
+without re-running the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict
+
+from repro.core.persistence import ModelBundle
+from repro.core.pipeline import PipelineOutcome
+from repro.workflow.report import render_table
+from repro.workflow.results import rows_to_csv, sampleset_to_rows
+
+__all__ = ["export_campaign", "EXPORT_FILES"]
+
+#: Files an export produces (relative to the export directory).
+EXPORT_FILES = (
+    "manifest.json",
+    "models.json",
+    "compression_sweep.csv",
+    "transit_sweep.csv",
+    "tables.txt",
+)
+
+
+def export_campaign(
+    outcome: PipelineOutcome,
+    directory,
+    config_metadata: Dict[str, object] | None = None,
+) -> Dict[str, str]:
+    """Write the campaign's artifacts into *directory*.
+
+    Returns ``{artifact name: absolute path}``. The directory is created
+    if missing; existing artifact files are overwritten (exports are
+    idempotent for the same outcome).
+    """
+    os.makedirs(directory, exist_ok=True)
+    paths: Dict[str, str] = {}
+
+    def _write(name: str, text: str) -> None:
+        path = os.path.join(directory, name)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        paths[name] = os.path.abspath(path)
+
+    bundle = ModelBundle.from_outcome(outcome, metadata=config_metadata or {})
+    _write("models.json", bundle.to_json())
+
+    _write("compression_sweep.csv",
+           rows_to_csv(sampleset_to_rows(outcome.compression_samples)))
+    _write("transit_sweep.csv",
+           rows_to_csv(sampleset_to_rows(outcome.transit_samples)))
+
+    tables = render_table(outcome.model_table("compression"),
+                          title="TABLE IV — compression power models")
+    tables += "\n\n" + render_table(outcome.model_table("transit"),
+                                    title="TABLE V — data-transit power models")
+    if outcome.recommendations:
+        rec_rows = [
+            {
+                "cpu": r.cpu, "stage": r.stage, "freq_ghz": r.freq_ghz,
+                "power_saving_pct": r.predicted_power_saving * 100,
+                "slowdown_pct": r.predicted_slowdown * 100,
+            }
+            for r in outcome.recommendations
+        ]
+        tables += "\n\n" + render_table(rec_rows, title="Tuning recommendations")
+    _write("tables.txt", tables)
+
+    manifest = {
+        "artifact_files": sorted(set(paths)),
+        "config": config_metadata or {},
+        "n_compression_samples": len(outcome.compression_samples),
+        "n_transit_samples": len(outcome.transit_samples),
+        "models": {
+            "compression": sorted(outcome.compression_models),
+            "transit": sorted(outcome.transit_models),
+        },
+    }
+    _write("manifest.json", json.dumps(manifest, indent=2, sort_keys=True))
+    return paths

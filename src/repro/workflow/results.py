@@ -1,0 +1,59 @@
+"""Result export helpers: SampleSet → row dicts / CSV text."""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, List, Sequence
+
+from repro.core.samples import SampleSet
+
+__all__ = ["sampleset_to_rows", "rows_to_csv"]
+
+#: Fields that are per-repeat tuples, dropped from flat exports.
+_VECTOR_FIELDS = ("power_samples", "runtime_samples", "energy_samples")
+
+
+def sampleset_to_rows(
+    samples: SampleSet, fields: Sequence[str] | None = None
+) -> List[Dict[str, object]]:
+    """Flatten a sample set into export-ready rows.
+
+    Per-repeat vectors are dropped unless explicitly requested through
+    *fields*.
+    """
+    rows = []
+    for record in samples:
+        if fields is None:
+            row = {k: v for k, v in record.items() if k not in _VECTOR_FIELDS}
+        else:
+            missing = [f for f in fields if f not in record]
+            if missing:
+                raise KeyError(f"record is missing requested fields {missing}")
+            row = {f: record[f] for f in fields}
+        rows.append(row)
+    return rows
+
+
+def rows_to_csv(rows: Iterable[Dict[str, object]]) -> str:
+    """Serialize uniform row dicts to CSV text (header from first row)."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    header = list(rows[0])
+    buf = io.StringIO()
+    buf.write(",".join(header) + "\n")
+    for row in rows:
+        extra = set(row) - set(header)
+        if extra:
+            raise ValueError(f"row has fields {sorted(extra)} not in the header")
+        buf.write(",".join(_csv_cell(row.get(k, "")) for k in header) + "\n")
+    return buf.getvalue()
+
+
+def _csv_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.10g}"
+    text = str(value)
+    if any(ch in text for ch in ',"\n'):
+        text = '"' + text.replace('"', '""') + '"'
+    return text

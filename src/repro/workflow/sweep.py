@@ -1,0 +1,254 @@
+"""Frequency sweeps over (CPU × compressor × dataset × error bound).
+
+Reproduces the measurement campaign of Section IV: every combination is
+run across the DVFS grid with ``perf``-style 10-repeat averaging. The
+real codecs run once per (dataset, bound) to record true compression
+ratios; power/runtime comes from the simulated node (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compressors.base import get_compressor
+from repro.core.samples import SampleSet
+from repro.data.registry import load_field
+from repro.hardware.cpu import BROADWELL_D1548, SKYLAKE_4114, CpuSpec
+from repro.hardware.node import SimulatedNode
+from repro.hardware.perf import PerfStat
+from repro.hardware.powercurves import PowerCurve
+from repro.hardware.workload import WorkloadKind, compression_workload
+from repro.iosim.nfs import NfsTarget
+from repro.iosim.transit import transit_workload
+
+__all__ = ["SweepConfig", "default_nodes", "compression_sweep", "transit_sweep", "decompression_sweep", "read_sweep"]
+
+#: The paper's error bounds (Section III-A).
+PAPER_ERROR_BOUNDS = (1e-1, 1e-2, 1e-3, 1e-4)
+
+#: One representative field per Table I dataset.
+DEFAULT_FIELDS: Tuple[Tuple[str, str], ...] = (
+    ("cesm-atm", "T"),
+    ("hacc", "x"),
+    ("nyx", "velocity_x"),
+)
+
+_KIND_BY_CODEC = {
+    "sz": WorkloadKind.COMPRESS_SZ,
+    "zfp": WorkloadKind.COMPRESS_ZFP,
+}
+
+_DEC_KIND_BY_CODEC = {
+    "sz": WorkloadKind.DECOMPRESS_SZ,
+    "zfp": WorkloadKind.DECOMPRESS_ZFP,
+}
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Configuration of a measurement campaign."""
+
+    compressors: Tuple[str, ...] = ("sz", "zfp")
+    datasets: Tuple[Tuple[str, str], ...] = DEFAULT_FIELDS
+    error_bounds: Tuple[float, ...] = PAPER_ERROR_BOUNDS
+    transit_sizes_gb: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0)
+    repeats: int = 10
+    data_scale: int = 16
+    seed: int = 0
+    #: Take every n-th DVFS grid frequency (1 = the paper's full 50 MHz sweep).
+    frequency_stride: int = 1
+    #: Skip running the real codecs (ratios recorded as NaN). Useful
+    #: when only power/runtime curves are needed.
+    measure_ratios: bool = True
+
+    def __post_init__(self):
+        if self.repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {self.repeats}")
+        if self.frequency_stride < 1:
+            raise ValueError(f"frequency_stride must be >= 1, got {self.frequency_stride}")
+        if not self.compressors or not self.datasets or not self.error_bounds:
+            raise ValueError("compressors, datasets and error_bounds must be non-empty")
+
+
+def default_nodes(
+    power_curve: Optional[PowerCurve] = None, seed: int = 0
+) -> Tuple[SimulatedNode, SimulatedNode]:
+    """The paper's two nodes (Table II) with decorrelated noise streams."""
+    return (
+        SimulatedNode(BROADWELL_D1548, power_curve=power_curve, seed=seed),
+        SimulatedNode(SKYLAKE_4114, power_curve=power_curve, seed=seed + 1),
+    )
+
+
+def _frequency_grid(cpu: CpuSpec, stride: int) -> np.ndarray:
+    grid = cpu.available_frequencies()
+    # Keep both endpoints: fmin anchors the curve, fmax anchors scaling.
+    subset = grid[::stride]
+    if subset[-1] != grid[-1]:
+        subset = np.append(subset, grid[-1])
+    return subset
+
+
+def compression_sweep(
+    nodes: Sequence[SimulatedNode],
+    config: SweepConfig = SweepConfig(),
+) -> SampleSet:
+    """Run the full compression measurement campaign.
+
+    Returns one record per (cpu, compressor, dataset-field, error bound,
+    frequency) with averaged power/runtime/energy, the raw repeats, and
+    the true compression ratio.
+    """
+    samples = SampleSet()
+    arrays: Dict[Tuple[str, str], np.ndarray] = {
+        (ds, fl): load_field(ds, fl, scale=config.data_scale, seed=config.seed)
+        for ds, fl in config.datasets
+    }
+    ratios: Dict[Tuple[str, str, str, float], float] = {}
+    if config.measure_ratios:
+        for codec_name in config.compressors:
+            codec = get_compressor(codec_name)
+            for (ds, fl), arr in arrays.items():
+                for eb in config.error_bounds:
+                    ratios[(codec_name, ds, fl, eb)] = codec.compress(arr, eb).ratio
+
+    for node in nodes:
+        perf = PerfStat(node, repeats=config.repeats)
+        freqs = _frequency_grid(node.cpu, config.frequency_stride)
+        for codec_name in config.compressors:
+            kind = _KIND_BY_CODEC[codec_name]
+            for (ds, fl), arr in arrays.items():
+                for eb in config.error_bounds:
+                    wl = compression_workload(
+                        kind, arr.nbytes, eb, name=f"{codec_name}:{ds}/{fl}@eb={eb:g}"
+                    )
+                    for sample in perf.sweep(wl, freqs):
+                        samples.append(
+                            {
+                                "cpu": sample.cpu,
+                                "compressor": codec_name,
+                                "dataset": ds,
+                                "field": fl,
+                                "error_bound": eb,
+                                "freq_ghz": sample.freq_ghz,
+                                "power_w": sample.power_w,
+                                "runtime_s": sample.runtime_s,
+                                "energy_j": sample.energy_j,
+                                "power_samples": sample.power_samples,
+                                "runtime_samples": sample.runtime_samples,
+                                "ratio": ratios.get(
+                                    (codec_name, ds, fl, eb), float("nan")
+                                ),
+                            }
+                        )
+    return samples
+
+
+def transit_sweep(
+    nodes: Sequence[SimulatedNode],
+    config: SweepConfig = SweepConfig(),
+    nfs: Optional[NfsTarget] = None,
+) -> SampleSet:
+    """Run the data-transit measurement campaign (Section IV-B)."""
+    nfs = nfs if nfs is not None else NfsTarget()
+    samples = SampleSet()
+    for node in nodes:
+        perf = PerfStat(node, repeats=config.repeats)
+        freqs = _frequency_grid(node.cpu, config.frequency_stride)
+        for size_gb in config.transit_sizes_gb:
+            wl = transit_workload(int(size_gb * 1e9), nfs, name=f"write@{size_gb:g}GB")
+            for sample in perf.sweep(wl, freqs):
+                samples.append(
+                    {
+                        "cpu": sample.cpu,
+                        "size_gb": size_gb,
+                        "freq_ghz": sample.freq_ghz,
+                        "power_w": sample.power_w,
+                        "runtime_s": sample.runtime_s,
+                        "energy_j": sample.energy_j,
+                        "power_samples": sample.power_samples,
+                        "runtime_samples": sample.runtime_samples,
+                    }
+                )
+    return samples
+
+
+def decompression_sweep(
+    nodes: Sequence[SimulatedNode],
+    config: SweepConfig = SweepConfig(),
+) -> SampleSet:
+    """Restore-path extension: measure decompression across frequencies.
+
+    Mirrors :func:`compression_sweep` with decoder workloads; record
+    schema is identical so the same scaling/fitting machinery applies.
+    """
+    from repro.hardware.workload import decompression_workload
+
+    samples = SampleSet()
+    arrays: Dict[Tuple[str, str], np.ndarray] = {
+        (ds, fl): load_field(ds, fl, scale=config.data_scale, seed=config.seed)
+        for ds, fl in config.datasets
+    }
+    for node in nodes:
+        perf = PerfStat(node, repeats=config.repeats)
+        freqs = _frequency_grid(node.cpu, config.frequency_stride)
+        for codec_name in config.compressors:
+            kind = _DEC_KIND_BY_CODEC[codec_name]
+            for (ds, fl), arr in arrays.items():
+                for eb in config.error_bounds:
+                    wl = decompression_workload(
+                        kind, arr.nbytes, eb,
+                        name=f"{codec_name}:dec:{ds}/{fl}@eb={eb:g}",
+                    )
+                    for sample in perf.sweep(wl, freqs):
+                        samples.append(
+                            {
+                                "cpu": sample.cpu,
+                                "compressor": codec_name,
+                                "dataset": ds,
+                                "field": fl,
+                                "error_bound": eb,
+                                "freq_ghz": sample.freq_ghz,
+                                "power_w": sample.power_w,
+                                "runtime_s": sample.runtime_s,
+                                "energy_j": sample.energy_j,
+                                "power_samples": sample.power_samples,
+                                "runtime_samples": sample.runtime_samples,
+                            }
+                        )
+    return samples
+
+
+def read_sweep(
+    nodes: Sequence[SimulatedNode],
+    config: SweepConfig = SweepConfig(),
+    nfs: Optional[NfsTarget] = None,
+) -> SampleSet:
+    """Restore-path extension: measure NFS reads across frequencies."""
+    from repro.hardware.workload import read_workload
+
+    nfs = nfs if nfs is not None else NfsTarget()
+    samples = SampleSet()
+    for node in nodes:
+        perf = PerfStat(node, repeats=config.repeats)
+        freqs = _frequency_grid(node.cpu, config.frequency_stride)
+        for size_gb in config.transit_sizes_gb:
+            wl = read_workload(int(size_gb * 1e9), nfs.effective_bandwidth_bps(),
+                               name=f"read@{size_gb:g}GB")
+            for sample in perf.sweep(wl, freqs):
+                samples.append(
+                    {
+                        "cpu": sample.cpu,
+                        "size_gb": size_gb,
+                        "freq_ghz": sample.freq_ghz,
+                        "power_w": sample.power_w,
+                        "runtime_s": sample.runtime_s,
+                        "energy_j": sample.energy_j,
+                        "power_samples": sample.power_samples,
+                        "runtime_samples": sample.runtime_samples,
+                    }
+                )
+    return samples

@@ -1,0 +1,64 @@
+"""Cross-validation of the power models.
+
+Fig. 5 validates the Broadwell model on one held-out dataset. This
+module generalizes that into leave-one-dataset-out cross-validation:
+for each Table I dataset, fit the per-partition models *without* it and
+score them on it. The resulting matrix quantifies how much of each
+model's quality is dataset-specific vs. architectural — a sharper
+version of the paper's "hardware dominates" conclusion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.partitions import COMPRESSION_PARTITIONS, fit_partition_models
+from repro.core.samples import SampleSet
+
+__all__ = ["leave_one_dataset_out", "loocv_rows"]
+
+
+def leave_one_dataset_out(
+    samples: SampleSet,
+    partitions=COMPRESSION_PARTITIONS,
+    value_key: str = "scaled_power_w",
+) -> Dict[Tuple[str, str], float]:
+    """RMSE of each partition model on each held-out dataset.
+
+    Returns ``{(partition name, held-out dataset): rmse}``. Requires at
+    least two datasets in *samples* (otherwise there is nothing to hold
+    out).
+    """
+    datasets = samples.unique("dataset")
+    if len(datasets) < 2:
+        raise ValueError(
+            f"cross-validation needs >= 2 datasets, got {list(datasets)}"
+        )
+    out: Dict[Tuple[str, str], float] = {}
+    for held_out in datasets:
+        train = samples.filter(lambda r: r["dataset"] != held_out)
+        test = samples.filter(dataset=held_out)
+        models = fit_partition_models(train, partitions, value_key=value_key)
+        for name, model in models.items():
+            # Score per-architecture models only on their own arch.
+            subset = test
+            if name in ("Broadwell", "Skylake", "Cascadelake"):
+                subset = test.filter(cpu=name.lower())
+            if len(subset) == 0:
+                continue
+            out[(name, held_out)] = model.evaluate(subset, value_key).rmse
+    return out
+
+
+def loocv_rows(results: Dict[Tuple[str, str], float]) -> List[Dict[str, object]]:
+    """Pivot cross-validation results into render-ready rows."""
+    partitions = sorted({k[0] for k in results})
+    datasets = sorted({k[1] for k in results})
+    rows = []
+    for part in partitions:
+        row: Dict[str, object] = {"model": part}
+        for ds in datasets:
+            key = (part, ds)
+            row[f"rmse_wo_{ds}"] = results.get(key, float("nan"))
+        rows.append(row)
+    return rows

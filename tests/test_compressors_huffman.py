@@ -1,0 +1,156 @@
+"""Unit + property tests for the canonical Huffman codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors.huffman import HuffmanCodec, build_code_lengths
+from repro.utils.bitio import BitReader, BitWriter
+
+
+def roundtrip(data, codec=None):
+    data = np.asarray(data, dtype=np.int64)
+    codec = codec or HuffmanCodec.from_data(data)
+    w = BitWriter()
+    codec.serialize_to(w)
+    nbits = codec.encoded_bit_length(data)
+    codec.encode_to(w, data)
+    r = BitReader(w.getvalue(), nbits=len(w))
+    codec2 = HuffmanCodec.deserialize_from(r)
+    out = codec2.decode_from(r, nbits, data.size)
+    return out
+
+
+class TestBuildCodeLengths:
+    def test_two_symbols_one_bit_each(self):
+        lengths = build_code_lengths({0: 5, 1: 3})
+        assert lengths == {0: 1, 1: 1}
+
+    def test_skewed_frequencies_shorter_codes(self):
+        lengths = build_code_lengths({0: 1000, 1: 10, 2: 10, 3: 1})
+        assert lengths[0] < lengths[3]
+
+    def test_kraft_equality(self):
+        lengths = build_code_lengths({i: i + 1 for i in range(20)})
+        assert sum(2.0 ** -l for l in lengths.values()) == pytest.approx(1.0)
+
+    def test_length_limit_respected(self):
+        # Exponential frequencies force deep trees without limiting.
+        freqs = {i: 2**i for i in range(24)}
+        lengths = build_code_lengths(freqs, max_code_length=12)
+        assert max(lengths.values()) <= 12
+        assert sum(2.0 ** -l for l in lengths.values()) == pytest.approx(1.0)
+
+    def test_single_symbol(self):
+        assert build_code_lengths({42: 7}) == {42: 1}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_code_lengths({})
+
+    def test_nonpositive_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            build_code_lengths({0: 0})
+
+    def test_alphabet_too_large(self):
+        with pytest.raises(ValueError, match="cannot be coded"):
+            build_code_lengths({i: 1 for i in range(5)}, max_code_length=2)
+
+
+class TestCodecConstruction:
+    def test_duplicate_symbols_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            HuffmanCodec([1, 1], [1, 1])
+
+    def test_kraft_violation_rejected(self):
+        with pytest.raises(ValueError, match="Kraft"):
+            HuffmanCodec([0, 1, 2], [1, 1, 1])
+
+    def test_alphabet_sorted(self):
+        codec = HuffmanCodec.from_data([3, 1, 2, 1, 1])
+        assert codec.alphabet.tolist() == [1, 2, 3]
+
+    def test_code_length_frequency_ordering(self):
+        data = [0] * 100 + [1] * 10 + [2]
+        codec = HuffmanCodec.from_data(data)
+        assert codec.code_length(0) <= codec.code_length(2)
+
+    def test_unknown_symbol_encode(self):
+        codec = HuffmanCodec.from_data([1, 2, 3])
+        w = BitWriter()
+        with pytest.raises(KeyError, match="not in the codec alphabet"):
+            codec.encode_to(w, [99])
+
+
+class TestRoundTrips:
+    def test_simple(self):
+        data = [1, 2, 3, 1, 1, 2, 1]
+        assert roundtrip(data).tolist() == data
+
+    def test_single_symbol_alphabet(self):
+        data = [7] * 100
+        assert roundtrip(data).tolist() == data
+
+    def test_negative_symbols(self):
+        data = [-5, -1, 0, 3, -5, -5, 3]
+        assert roundtrip(data).tolist() == data
+
+    def test_large_symbols(self):
+        data = [2**50, -(2**50), 0, 2**50]
+        assert roundtrip(data).tolist() == data
+
+    def test_large_stream(self):
+        rng = np.random.default_rng(0)
+        data = rng.choice([-2, -1, 0, 1, 2], size=200_000, p=[0.05, 0.2, 0.5, 0.2, 0.05])
+        out = roundtrip(data)
+        assert np.array_equal(out, data)
+
+    def test_encoded_bit_length_exact(self):
+        data = np.array([1, 1, 2, 3, 1], dtype=np.int64)
+        codec = HuffmanCodec.from_data(data)
+        w = BitWriter()
+        emitted = codec.encode_to(w, data)
+        assert emitted == codec.encoded_bit_length(data) == len(w)
+
+    def test_compression_beats_fixed_width_on_skewed_data(self):
+        rng = np.random.default_rng(1)
+        data = rng.choice(np.arange(16), size=10_000, p=[0.7] + [0.02] * 15)
+        codec = HuffmanCodec.from_data(data)
+        assert codec.encoded_bit_length(data) < 4 * data.size
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=500))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert roundtrip(data).tolist() == data
+
+    @given(
+        st.lists(st.integers(-(2**40), 2**40), min_size=1, max_size=64),
+        st.integers(0, 2**32),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_wide_range(self, symbols, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.choice(np.array(symbols, dtype=np.int64), size=200)
+        assert np.array_equal(roundtrip(data), data)
+
+
+class TestDecodeValidation:
+    def test_truncated_stream_raises(self):
+        data = np.arange(50, dtype=np.int64) % 5
+        codec = HuffmanCodec.from_data(data)
+        w = BitWriter()
+        codec.encode_to(w, data)
+        full_bits = np.unpackbits(np.frombuffer(w.getvalue(), dtype=np.uint8))
+        nbits = codec.encoded_bit_length(data)
+        with pytest.raises((ValueError, EOFError)):
+            codec.decode(full_bits[: nbits // 2], 50)
+
+    def test_decode_zero_count(self):
+        codec = HuffmanCodec.from_data([1, 2])
+        assert codec.decode(np.array([0, 1], dtype=np.uint8), 0).size == 0
+
+    def test_decode_empty_stream_nonzero_count(self):
+        codec = HuffmanCodec.from_data([1, 2])
+        with pytest.raises(ValueError):
+            codec.decode(np.empty(0, dtype=np.uint8), 3)

@@ -1,0 +1,100 @@
+"""Unit + property tests for the lossless baseline codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors import LosslessCompressor, SZCompressor, available_compressors
+from repro.compressors.base import CorruptStreamError, get_compressor
+from repro.data import load_field
+
+
+class TestRegistration:
+    def test_registered_as_gzip(self):
+        assert "gzip" in available_compressors()
+        assert isinstance(get_compressor("gzip"), LosslessCompressor)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_bit_exact_roundtrip(self, dtype):
+        rng = np.random.default_rng(0)
+        arr = rng.normal(size=(17, 23)).astype(dtype)
+        codec = LosslessCompressor()
+        buf, rec = codec.roundtrip(arr, 1e-3)  # bound irrelevant
+        assert np.array_equal(rec, arr)
+        assert rec.dtype == dtype
+
+    def test_preserves_negative_zero_and_denormals(self):
+        arr = np.array([-0.0, 5e-324, -5e-324, 1.0], dtype=np.float64)
+        codec = LosslessCompressor()
+        _, rec = codec.roundtrip(arr, 1.0)
+        assert np.array_equal(rec.view(np.uint64), arr.view(np.uint64))
+
+    def test_no_shuffle_variant(self):
+        arr = np.linspace(0, 1, 100, dtype=np.float32)
+        codec = LosslessCompressor(shuffle=False)
+        _, rec = codec.roundtrip(arr, 1e-3)
+        assert np.array_equal(rec, arr)
+
+    @given(st.lists(st.floats(-1e6, 1e6, width=32), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, values):
+        arr = np.array(values, dtype=np.float32)
+        _, rec = LosslessCompressor().roundtrip(arr, 1.0)
+        assert np.array_equal(rec, arr)
+
+
+class TestShuffleBenefit:
+    def test_shuffle_improves_ratio_on_smooth_data(self):
+        arr = load_field("cesm-atm", "T", scale=24)
+        with_shuffle = LosslessCompressor(shuffle=True).compress(arr, 1.0)
+        without = LosslessCompressor(shuffle=False).compress(arr, 1.0)
+        assert with_shuffle.nbytes < without.nbytes
+
+
+class TestPaperMotivation:
+    def test_lossy_beats_lossless_on_scientific_data(self):
+        # Section I's premise: lossy compressors achieve far better
+        # ratios than lossless ones on floating-point fields.
+        arr = load_field("nyx", "velocity_x", scale=24)
+        lossless_ratio = LosslessCompressor().compress(arr, 1.0).ratio
+        lossy_ratio = SZCompressor().compress(arr, 1e-2).ratio
+        assert lossy_ratio > 2 * lossless_ratio
+
+
+class TestValidation:
+    def test_bad_level(self):
+        with pytest.raises(ValueError):
+            LosslessCompressor(zlib_level=11)
+
+    def test_corrupt_mode_byte(self):
+        arr = np.ones(16, dtype=np.float32)
+        codec = LosslessCompressor()
+        buf = codec.compress(arr, 1.0)
+        bad = buf.__class__(codec=buf.codec, payload=b"X" + buf.payload[1:],
+                            shape=buf.shape, dtype=buf.dtype,
+                            error_bound=buf.error_bound)
+        with pytest.raises(CorruptStreamError, match="mode"):
+            codec.decompress(bad)
+
+    def test_truncated_payload(self):
+        arr = np.random.default_rng(1).normal(size=256).astype(np.float32)
+        codec = LosslessCompressor()
+        buf = codec.compress(arr, 1.0)
+        bad = buf.__class__(codec=buf.codec, payload=buf.payload[: len(buf.payload) // 2],
+                            shape=buf.shape, dtype=buf.dtype,
+                            error_bound=buf.error_bound)
+        with pytest.raises(CorruptStreamError):
+            codec.decompress(bad)
+
+    def test_size_mismatch_detected(self):
+        arr = np.ones(16, dtype=np.float32)
+        codec = LosslessCompressor()
+        buf = codec.compress(arr, 1.0)
+        bad = buf.__class__(codec=buf.codec, payload=buf.payload,
+                            shape=(32,), dtype=buf.dtype,
+                            error_bound=buf.error_bound)
+        with pytest.raises(CorruptStreamError, match="expected"):
+            codec.decompress(bad)

@@ -1,0 +1,80 @@
+"""Unit tests for compression metrics."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import SZCompressor
+from repro.compressors.metrics import (
+    compression_ratio,
+    evaluate,
+    max_abs_error,
+    psnr,
+    verify_error_bound,
+)
+
+
+class TestCompressionRatio:
+    def test_basic(self):
+        assert compression_ratio(100, 25) == 4.0
+
+    @pytest.mark.parametrize("orig,comp", [(0, 1), (1, 0), (-1, 1)])
+    def test_invalid(self, orig, comp):
+        with pytest.raises(ValueError):
+            compression_ratio(orig, comp)
+
+
+class TestMaxAbsError:
+    def test_zero_for_identical(self):
+        a = np.random.default_rng(0).normal(size=(8, 8))
+        assert max_abs_error(a, a) == 0.0
+
+    def test_known_value(self):
+        assert max_abs_error([1.0, 2.0], [1.5, 1.0]) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shapes differ"):
+            max_abs_error(np.ones(3), np.ones(4))
+
+
+class TestPsnr:
+    def test_exact_reconstruction_infinite(self):
+        a = np.arange(10.0)
+        assert psnr(a, a) == np.inf
+
+    def test_constant_original_with_error(self):
+        assert psnr(np.ones(5), np.zeros(5)) == -np.inf
+
+    def test_smaller_error_higher_psnr(self):
+        a = np.linspace(0, 1, 100)
+        assert psnr(a, a + 1e-4) > psnr(a, a + 1e-2)
+
+    def test_known_value(self):
+        a = np.array([0.0, 1.0])
+        rec = np.array([0.1, 1.0])
+        mse = 0.005
+        assert psnr(a, rec) == pytest.approx(10 * np.log10(1.0 / mse))
+
+
+class TestEvaluate:
+    def test_full_bundle(self):
+        arr = np.linspace(0, 1, 4096, dtype=np.float32).reshape(64, 64)
+        codec = SZCompressor()
+        buf, rec = codec.roundtrip(arr, 1e-3)
+        m = evaluate(arr, rec, buf)
+        assert m.bound_respected
+        assert m.ratio > 1.0
+        assert m.max_error <= 1e-3 * (1 + 1e-9)
+        assert m.psnr_db > 40
+        assert m.original_nbytes == arr.nbytes
+
+
+class TestVerifyErrorBound:
+    def test_passes_within_bound(self):
+        verify_error_bound([1.0], [1.0005], 1e-3)
+
+    def test_fails_outside_bound(self):
+        with pytest.raises(AssertionError, match="violated"):
+            verify_error_bound([1.0], [1.01], 1e-3)
+
+    def test_tolerates_float_slop(self):
+        verify_error_bound([0.0], [1e-3 * (1 + 1e-12)], 1e-3)

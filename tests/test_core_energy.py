@@ -1,0 +1,85 @@
+"""Unit tests for energy accounting."""
+
+import pytest
+
+from repro.core.energy import (
+    SavingsReport,
+    compare_reports,
+    energy_joules,
+    savings_fraction,
+)
+from repro.iosim.dumper import DumpReport, StageReport
+
+
+def stage(stage_name, energy, runtime=10.0, freq=2.0):
+    return StageReport(
+        stage=stage_name,
+        freq_ghz=freq,
+        bytes_processed=1000,
+        runtime_s=runtime,
+        energy_j=energy,
+    )
+
+
+def report(comp_e, write_e, eb=1e-2, ratio=4.0, comp_t=10.0, write_t=5.0):
+    return DumpReport(
+        compress=stage("compress", comp_e, comp_t),
+        write=stage("write", write_e, write_t),
+        compression_ratio=ratio,
+        error_bound=eb,
+    )
+
+
+class TestEnergyJoules:
+    def test_eqn1(self):
+        assert energy_joules(20.0, 100.0) == 2000.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            energy_joules(0.0, 10.0)
+        with pytest.raises(ValueError):
+            energy_joules(10.0, -1.0)
+
+
+class TestSavingsFraction:
+    def test_basic(self):
+        assert savings_fraction(100.0, 87.0) == pytest.approx(0.13)
+
+    def test_regression_negative(self):
+        assert savings_fraction(100.0, 110.0) == pytest.approx(-0.10)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            savings_fraction(0.0, 10.0)
+        with pytest.raises(ValueError):
+            savings_fraction(10.0, -1.0)
+
+
+class TestCompareReports:
+    def test_savings_computed(self):
+        base = report(100.0, 20.0)
+        tuned = report(90.0, 19.0, comp_t=11.0, write_t=5.5)
+        s = compare_reports(base, tuned)
+        assert s.energy_saved_j == pytest.approx(11.0)
+        assert s.energy_saving_fraction == pytest.approx(11.0 / 120.0)
+        assert s.runtime_increase_fraction == pytest.approx(16.5 / 15.0 - 1.0)
+        assert s.compression_ratio == 4.0
+
+    def test_mismatched_bounds_rejected(self):
+        with pytest.raises(ValueError, match="error bounds differ"):
+            compare_reports(report(1, 1, eb=1e-2), report(1, 1, eb=1e-3))
+
+
+class TestSavingsReport:
+    def test_properties(self):
+        s = SavingsReport(
+            error_bound=1e-3,
+            baseline_energy_j=50_000.0,
+            tuned_energy_j=43_500.0,
+            baseline_runtime_s=100.0,
+            tuned_runtime_s=108.4,
+            compression_ratio=5.0,
+        )
+        assert s.energy_saved_j == pytest.approx(6_500.0)
+        assert s.energy_saving_fraction == pytest.approx(0.13)
+        assert s.runtime_increase_fraction == pytest.approx(0.084)

@@ -1,0 +1,97 @@
+"""Unit tests for Table III model partitions."""
+
+import numpy as np
+import pytest
+
+from repro.core.partitions import (
+    COMPRESSION_PARTITIONS,
+    TRANSIT_PARTITIONS,
+    Partition,
+    fit_partition_models,
+    table3_rows,
+)
+from repro.core.samples import SampleSet
+
+
+def make_samples():
+    records = []
+    rng = np.random.default_rng(0)
+    for cpu, fmax, (a, b, c) in (
+        ("broadwell", 2.0, (0.0064, 5.315, 0.7429)),
+        ("skylake", 2.2, (2.235e-9, 23.31, 0.7941)),
+    ):
+        for comp in ("sz", "zfp"):
+            for f in np.arange(0.8, fmax + 1e-9, 0.1):
+                records.append(
+                    {
+                        "cpu": cpu,
+                        "compressor": comp,
+                        "freq_ghz": float(f),
+                        "scaled_power_w": float(a * f**b + c + rng.normal(0, 0.002)),
+                    }
+                )
+    return SampleSet(records)
+
+
+class TestPartitionSelect:
+    def test_total_selects_all(self):
+        s = make_samples()
+        assert len(Partition("Total").select(s)) == len(s)
+
+    def test_compressor_partition(self):
+        s = make_samples()
+        sz = Partition("SZ", compressor="sz").select(s)
+        assert len(sz) == len(s) // 2
+        assert all(r["compressor"] == "sz" for r in sz)
+
+    def test_cpu_partition(self):
+        s = make_samples()
+        bw = Partition("Broadwell", cpu="broadwell").select(s)
+        assert all(r["cpu"] == "broadwell" for r in bw)
+
+    def test_combined_filters(self):
+        s = make_samples()
+        part = Partition("x", compressor="zfp", cpu="skylake")
+        sel = part.select(s)
+        assert all(r["compressor"] == "zfp" and r["cpu"] == "skylake" for r in sel)
+
+
+class TestTable3:
+    def test_five_compression_partitions(self):
+        names = [p.name for p in COMPRESSION_PARTITIONS]
+        assert names == ["Total", "SZ", "ZFP", "Broadwell", "Skylake"]
+
+    def test_three_transit_partitions(self):
+        names = [p.name for p in TRANSIT_PARTITIONS]
+        assert names == ["Total", "Broadwell", "Skylake"]
+
+    def test_rows_format(self):
+        rows = table3_rows()
+        assert rows[0] == {
+            "model_data": "Total",
+            "compressors": "SZ, ZFP",
+            "cpus": "Broadwell, Skylake",
+        }
+        assert rows[3]["cpus"] == "Broadwell"
+
+
+class TestFitPartitionModels:
+    def test_fits_all_partitions(self):
+        models = fit_partition_models(make_samples())
+        assert set(models) == {"Total", "SZ", "ZFP", "Broadwell", "Skylake"}
+
+    def test_per_arch_fits_better_than_pooled(self):
+        # The paper's central observation (Table IV).
+        models = fit_partition_models(make_samples())
+        assert models["Broadwell"].gof.rmse < models["Total"].gof.rmse
+        assert models["Skylake"].gof.rmse < models["Total"].gof.rmse
+
+    def test_recovered_exponents_match_ground_truth(self):
+        models = fit_partition_models(make_samples())
+        assert models["Broadwell"].b == pytest.approx(5.315, rel=0.15)
+        assert models["Skylake"].b == pytest.approx(23.31, rel=0.15)
+
+    def test_empty_partition_rejected(self):
+        s = make_samples().filter(cpu="broadwell")
+        with pytest.raises(ValueError, match="selected no samples"):
+            fit_partition_models(s)

@@ -1,0 +1,96 @@
+"""Unit tests for model-bundle persistence."""
+
+import json
+
+import pytest
+
+from repro.core.persistence import SCHEMA_VERSION, ModelBundle
+from repro.core.power_model import PowerModel
+from repro.core.runtime_model import RuntimeModel
+from repro.utils.stats import GoodnessOfFit
+
+GOF = GoodnessOfFit(0.1, 0.02, 0.9)
+
+
+def make_bundle():
+    return ModelBundle(
+        compression_power={
+            "Broadwell": PowerModel("Broadwell", 0.0064, 5.315, 0.7429, 0.8, 2.0, GOF),
+            "Skylake": PowerModel("Skylake", 2.235e-9, 23.31, 0.7941, 0.8, 2.2, GOF),
+        },
+        transit_power={
+            "Broadwell": PowerModel("Broadwell", 0.0261, 3.395, 0.7097, 0.8, 2.0, GOF),
+        },
+        compression_runtime={
+            "broadwell": RuntimeModel("compress-broadwell", 0.55, 2.0, GOF),
+        },
+        transit_runtime={
+            "broadwell": RuntimeModel("write-broadwell", 0.75, 2.0, GOF),
+        },
+        metadata={"seed": 0, "curve": "calibrated"},
+    )
+
+
+class TestJsonRoundTrip:
+    def test_roundtrip_preserves_models(self):
+        bundle = make_bundle()
+        restored = ModelBundle.from_json(bundle.to_json())
+        assert restored.compression_power["Broadwell"].params == (
+            0.0064, 5.315, 0.7429
+        )
+        assert restored.compression_power["Skylake"].b == 23.31
+        assert restored.compression_runtime["broadwell"].sensitivity == 0.55
+        assert restored.metadata == {"seed": 0, "curve": "calibrated"}
+
+    def test_gof_preserved(self):
+        restored = ModelBundle.from_json(make_bundle().to_json())
+        g = restored.transit_power["Broadwell"].gof
+        assert (g.sse, g.rmse, g.r2) == (0.1, 0.02, 0.9)
+
+    def test_schema_version_embedded(self):
+        doc = json.loads(make_bundle().to_json())
+        assert doc["schema_version"] == SCHEMA_VERSION
+
+    def test_unknown_schema_rejected(self):
+        doc = json.loads(make_bundle().to_json())
+        doc["schema_version"] = 999
+        with pytest.raises(ValueError, match="schema"):
+            ModelBundle.from_json(json.dumps(doc))
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ValueError, match="not a valid"):
+            ModelBundle.from_json("{nope")
+
+
+class TestFileRoundTrip:
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "models.json"
+        make_bundle().save(path)
+        restored = ModelBundle.load(path)
+        assert restored.compression_power["Broadwell"].equation() == (
+            make_bundle().compression_power["Broadwell"].equation()
+        )
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(OSError):
+            ModelBundle.load(tmp_path / "absent.json")
+
+
+class TestFromOutcome:
+    def test_captures_pipeline_models(self):
+        from repro.core.pipeline import TunedIOPipeline
+        from repro.workflow.sweep import SweepConfig, default_nodes
+
+        cfg = SweepConfig(
+            datasets=(("nyx", "velocity_x"),), error_bounds=(1e-2,),
+            transit_sizes_gb=(1.0,), repeats=2, data_scale=32,
+            frequency_stride=5, measure_ratios=False,
+        )
+        outcome = TunedIOPipeline(default_nodes()).characterize(cfg)
+        bundle = ModelBundle.from_outcome(outcome, metadata={"test": True})
+        restored = ModelBundle.from_json(bundle.to_json())
+        assert set(restored.compression_power) == set(outcome.compression_models)
+        for name, model in outcome.compression_models.items():
+            assert restored.compression_power[name].params == pytest.approx(
+                model.params
+            )

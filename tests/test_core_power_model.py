@@ -1,0 +1,109 @@
+"""Unit tests for PowerModel and RuntimeModel."""
+
+import numpy as np
+import pytest
+
+from repro.core.power_model import PowerModel
+from repro.core.runtime_model import RuntimeModel, fit_runtime_model
+from repro.core.samples import SampleSet
+from repro.utils.stats import GoodnessOfFit
+
+
+def power_samples(a=0.0064, b=5.315, c=0.7429, fmin=0.8, fmax=2.0, noise=0.0, seed=0):
+    f = np.arange(fmin, fmax + 1e-9, 0.05)
+    y = a * f**b + c
+    if noise:
+        y = y + np.random.default_rng(seed).normal(0, noise, size=f.size)
+    return SampleSet(
+        [{"freq_ghz": float(fi), "scaled_power_w": float(yi)} for fi, yi in zip(f, y)]
+    )
+
+
+class TestPowerModelFit:
+    def test_fit_recovers_curve(self):
+        model = PowerModel.fit("Broadwell", power_samples())
+        f = np.linspace(0.8, 2.0, 10)
+        assert np.allclose(model.predict(f), 0.0064 * f**5.315 + 0.7429, atol=1e-5)
+
+    def test_domain_from_samples(self):
+        model = PowerModel.fit("x", power_samples())
+        assert model.fmin_ghz == pytest.approx(0.8)
+        assert model.fmax_ghz == pytest.approx(2.0)
+
+    def test_invalid_domain_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel("x", 1, 1, 1, 2.0, 0.8, GoodnessOfFit(0, 0, 1))
+
+    def test_savings_at_reduced_frequency(self):
+        model = PowerModel.fit("x", power_samples())
+        sav = model.savings_at(0.875 * 2.0)
+        assert 0.10 < sav < 0.16  # paper band for Broadwell (~13 %)
+
+    def test_savings_at_fmax_is_zero(self):
+        model = PowerModel.fit("x", power_samples())
+        assert model.savings_at(2.0) == pytest.approx(0.0)
+
+    def test_evaluate_on_heldout(self):
+        model = PowerModel.fit("x", power_samples())
+        held = power_samples(noise=0.01, seed=3)
+        gof = model.evaluate(held)
+        assert gof.rmse < 0.03
+
+    def test_table_row(self):
+        model = PowerModel.fit("Skylake", power_samples())
+        row = model.as_table_row()
+        assert row["model"] == "Skylake"
+        assert set(row) == {"model", "equation", "sse", "rmse", "r2"}
+
+    def test_params_tuple(self):
+        model = PowerModel.fit("x", power_samples())
+        a, b, c = model.params
+        assert (a, b, c) == (model.a, model.b, model.c)
+
+
+def runtime_samples(s=0.55, fmax=2.0, noise=0.0, seed=0):
+    f = np.arange(0.8, fmax + 1e-9, 0.05)
+    r = (1 - s) + s * fmax / f
+    if noise:
+        r = r + np.random.default_rng(seed).normal(0, noise, size=f.size)
+    return SampleSet(
+        [{"freq_ghz": float(fi), "scaled_runtime_s": float(ri)} for fi, ri in zip(f, r)]
+    )
+
+
+class TestRuntimeModel:
+    def test_fit_recovers_sensitivity(self):
+        model = fit_runtime_model("x", runtime_samples(s=0.55))
+        assert model.sensitivity == pytest.approx(0.55, abs=1e-9)
+
+    def test_fit_under_noise(self):
+        model = fit_runtime_model("x", runtime_samples(s=0.75, noise=0.01, seed=1))
+        assert model.sensitivity == pytest.approx(0.75, abs=0.03)
+
+    def test_predict_at_fmax_is_one(self):
+        model = fit_runtime_model("x", runtime_samples(s=0.3))
+        assert model.predict(2.0) == pytest.approx(1.0)
+
+    def test_slowdown_at(self):
+        model = RuntimeModel("x", 0.5, 2.0, GoodnessOfFit(0, 0, 1))
+        # (1-0.5) + 0.5 * 2/1.6 = 1.125
+        assert model.slowdown_at(1.6) == pytest.approx(0.125)
+
+    def test_flat_workload_zero_sensitivity(self):
+        model = fit_runtime_model("x", runtime_samples(s=0.0))
+        assert model.sensitivity == pytest.approx(0.0, abs=1e-9)
+        assert model.predict(0.8) == pytest.approx(1.0)
+
+    def test_monotone_decreasing_prediction(self):
+        model = fit_runtime_model("x", runtime_samples(s=0.6))
+        f = np.linspace(0.8, 2.0, 20)
+        assert np.all(np.diff(model.predict(f)) <= 0)
+
+    def test_nonpositive_frequency_rejected(self):
+        model = fit_runtime_model("x", runtime_samples())
+        with pytest.raises(ValueError):
+            model.predict(0.0)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            fit_runtime_model("x", SampleSet([{"freq_ghz": 1.0, "scaled_runtime_s": 1.0}]))

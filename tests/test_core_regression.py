@@ -1,0 +1,139 @@
+"""Unit + property tests for the a·f^b + c fitter and model selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.regression import (
+    CANDIDATE_MODELS,
+    fit_best_model,
+    fit_power_law,
+)
+
+
+def make_curve(a, b, c, n=29, fmin=0.8, fmax=2.2, noise=0.0, seed=0):
+    f = np.linspace(fmin, fmax, n)
+    y = a * f**b + c
+    if noise:
+        y = y + np.random.default_rng(seed).normal(0, noise, size=n)
+    return f, y
+
+
+class TestExactRecovery:
+    @pytest.mark.parametrize("params", [
+        (0.0064, 5.315, 0.7429),     # paper's Broadwell compression
+        (2.235e-9, 23.31, 0.7941),   # paper's Skylake compression
+        (0.0261, 3.395, 0.7097),     # paper's Broadwell transit
+        (0.05, 1.5, 0.2),
+    ])
+    def test_recovers_paper_parameters_noise_free(self, params):
+        a, b, c = params
+        f, y = make_curve(a, b, c)
+        fit = fit_power_law(f, y)
+        assert np.allclose(fit.predict(f), y, atol=1e-6)
+        assert fit.gof.rmse < 1e-6
+
+    def test_recovers_under_noise(self):
+        f, y = make_curve(0.0064, 5.315, 0.7429, noise=0.01, seed=1)
+        fit = fit_power_law(f, y)
+        # Prediction error comparable to the injected noise.
+        clean = 0.0064 * f**5.315 + 0.7429
+        assert np.max(np.abs(fit.predict(f) - clean)) < 0.03
+
+    def test_flat_data_degenerates_gracefully(self):
+        f = np.linspace(0.8, 2.0, 25)
+        y = np.full(25, 0.9)
+        fit = fit_power_law(f, y)
+        assert np.allclose(fit.predict(f), 0.9, atol=1e-9)
+
+    def test_decreasing_data_flat_fallback(self):
+        # Negative slope with nonnegative_a: falls back near-flat rather
+        # than exploding.
+        f = np.linspace(0.8, 2.0, 25)
+        y = 2.0 - 0.5 * f
+        fit = fit_power_law(f, y)
+        assert np.all(np.isfinite(fit.predict(f)))
+
+    def test_negative_a_allowed_when_requested(self):
+        f, y = make_curve(-0.05, 2.0, 1.5)
+        fit = fit_power_law(f, y, nonnegative_a=False)
+        assert fit.gof.rmse < 1e-6
+        assert fit.a < 0
+
+
+class TestValidation:
+    def test_too_few_points(self):
+        with pytest.raises(ValueError, match="at least 4"):
+            fit_power_law([1, 2, 3], [1, 2, 3])
+
+    def test_nonpositive_frequency(self):
+        with pytest.raises(ValueError, match="positive"):
+            fit_power_law([-1, 1, 2, 3], [1, 1, 1, 1])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            fit_power_law([1, 2, 3, 4], [1, np.nan, 1, 1])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2, 3, 4], [1, 2, 3])
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2, 3, 4], [1, 2, 3, 4], b_bounds=(2.0, 1.0))
+
+
+class TestEquationString:
+    def test_format(self):
+        f, y = make_curve(0.01, 3.0, 0.7)
+        fit = fit_power_law(f, y)
+        eq = fit.equation()
+        assert "f^" in eq and "+" in eq
+
+
+class TestModelSelection:
+    def test_powerlaw_wins_on_powerlaw_data(self):
+        f, y = make_curve(2e-9, 23.0, 0.79, noise=0.002, seed=2)
+        best = fit_best_model(f, y)
+        assert best.family == "powerlaw"
+
+    def test_line_fits_linear_data(self):
+        f = np.linspace(0.8, 2.2, 29)
+        y = 2.0 * f + 1.0
+        best = fit_best_model(f, y)
+        # powerlaw with b=1 also fits; either is acceptable, RMSE ~ 0.
+        assert best.gof.rmse < 1e-6
+
+    def test_family_subset(self):
+        f, y = make_curve(0.01, 3.0, 0.7)
+        best = fit_best_model(f, y, families=["poly1", "poly2"])
+        assert best.family in ("poly1", "poly2")
+
+    def test_unknown_family(self):
+        f, y = make_curve(0.01, 3.0, 0.7)
+        with pytest.raises(KeyError, match="unknown model"):
+            fit_best_model(f, y, families=["spline"])
+
+    def test_all_candidates_run(self):
+        f, y = make_curve(0.01, 3.0, 0.7, noise=0.01)
+        for name, fitter in CANDIDATE_MODELS.items():
+            m = fitter(*_xy(f, y))
+            assert np.all(np.isfinite(m.predict(f))), name
+
+
+def _xy(f, y):
+    return np.asarray(f, dtype=np.float64), np.asarray(y, dtype=np.float64)
+
+
+class TestPropertyRecovery:
+    @given(
+        st.floats(1e-4, 0.1),
+        st.floats(1.0, 12.0),
+        st.floats(0.1, 2.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_noise_free_recovery_property(self, a, b, c):
+        f, y = make_curve(a, b, c)
+        fit = fit_power_law(f, y)
+        assert fit.gof.rmse < 1e-4 * max(1.0, np.max(np.abs(y)))

@@ -1,0 +1,84 @@
+"""Unit tests for the SampleSet container."""
+
+import numpy as np
+import pytest
+
+from repro.core.samples import SampleSet
+
+
+@pytest.fixture
+def samples():
+    return SampleSet(
+        [
+            {"cpu": "broadwell", "freq_ghz": 0.8, "power_w": 15.0},
+            {"cpu": "broadwell", "freq_ghz": 2.0, "power_w": 21.0},
+            {"cpu": "skylake", "freq_ghz": 0.8, "power_w": 23.0},
+            {"cpu": "skylake", "freq_ghz": 2.2, "power_w": 29.0},
+        ]
+    )
+
+
+class TestContainer:
+    def test_len_iter_getitem(self, samples):
+        assert len(samples) == 4
+        assert samples[0]["cpu"] == "broadwell"
+        assert sum(1 for _ in samples) == 4
+
+    def test_append_copies(self):
+        s = SampleSet()
+        rec = {"a": 1}
+        s.append(rec)
+        rec["a"] = 2
+        assert s[0]["a"] == 1
+
+    def test_extend_and_merged(self, samples):
+        extra = SampleSet([{"cpu": "x", "freq_ghz": 1.0, "power_w": 1.0}])
+        merged = samples.merged(extra)
+        assert len(merged) == 5
+        assert len(samples) == 4  # original untouched
+
+
+class TestRelational:
+    def test_filter_equals(self, samples):
+        bw = samples.filter(cpu="broadwell")
+        assert len(bw) == 2
+        assert all(r["cpu"] == "broadwell" for r in bw)
+
+    def test_filter_predicate(self, samples):
+        fast = samples.filter(lambda r: r["freq_ghz"] > 1.0)
+        assert len(fast) == 2
+
+    def test_filter_combined(self, samples):
+        out = samples.filter(lambda r: r["power_w"] > 20, cpu="skylake")
+        assert len(out) == 2
+
+    def test_filter_no_match(self, samples):
+        assert len(samples.filter(cpu="epyc")) == 0
+
+    def test_column(self, samples):
+        p = samples.column("power_w")
+        assert isinstance(p, np.ndarray)
+        assert p.tolist() == [15.0, 21.0, 23.0, 29.0]
+
+    def test_column_missing_field(self, samples):
+        with pytest.raises(KeyError, match="missing field"):
+            samples.column("nope")
+
+    def test_unique(self, samples):
+        assert samples.unique("cpu") == ("broadwell", "skylake")
+
+    def test_group_by(self, samples):
+        groups = samples.group_by("cpu")
+        assert set(groups) == {("broadwell",), ("skylake",)}
+        assert len(groups[("broadwell",)]) == 2
+
+    def test_with_field(self, samples):
+        out = samples.with_field("double", lambda r: r["power_w"] * 2)
+        assert out[0]["double"] == 30.0
+        assert "double" not in samples[0]
+
+    def test_sort_by(self, samples):
+        out = samples.sort_by("power_w")
+        assert out.column("power_w").tolist() == [15.0, 21.0, 23.0, 29.0]
+        rev = SampleSet(reversed(list(samples))).sort_by("power_w")
+        assert rev.column("power_w").tolist() == [15.0, 21.0, 23.0, 29.0]

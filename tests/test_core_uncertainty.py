@@ -1,0 +1,77 @@
+"""Unit tests for bootstrap parameter uncertainty."""
+
+import numpy as np
+import pytest
+
+from repro.core.samples import SampleSet
+from repro.core.uncertainty import bootstrap_power_fit
+
+
+def make_samples(a=0.0064, b=5.315, c=0.7429, noise=0.01, n_per_freq=4, seed=0):
+    rng = np.random.default_rng(seed)
+    records = []
+    for f in np.arange(0.8, 2.0 + 1e-9, 0.1):
+        for _ in range(n_per_freq):
+            records.append(
+                {
+                    "freq_ghz": float(f),
+                    "scaled_power_w": float(a * f**b + c + rng.normal(0, noise)),
+                }
+            )
+    return SampleSet(records)
+
+
+class TestBootstrap:
+    def test_intervals_cover_truth(self):
+        res = bootstrap_power_fit(make_samples(), n_boot=100, seed=1)
+        assert res.c.contains(0.7429)
+        # The exponent is weakly identified; a generous interval should
+        # still bracket the truth.
+        assert res.b.lower < 5.315 < res.b.upper
+
+    def test_estimate_inside_own_interval(self):
+        res = bootstrap_power_fit(make_samples(), n_boot=60, seed=2)
+        for p in (res.a, res.b, res.c):
+            assert p.lower <= p.estimate <= p.upper or p.width < 1e-12
+
+    def test_more_noise_wider_intervals(self):
+        quiet = bootstrap_power_fit(make_samples(noise=0.003, seed=3), n_boot=60)
+        loud = bootstrap_power_fit(make_samples(noise=0.03, seed=3), n_boot=60)
+        assert loud.b.width > quiet.b.width
+
+    def test_band_brackets_mean_curve(self):
+        res = bootstrap_power_fit(make_samples(), n_boot=60, seed=4)
+        truth = 0.0064 * res.band_freqs**5.315 + 0.7429
+        inside = (res.band_lower - 0.01 <= truth) & (truth <= res.band_upper + 0.01)
+        assert inside.mean() > 0.9
+
+    def test_band_shapes(self):
+        res = bootstrap_power_fit(make_samples(), n_boot=30, seed=5)
+        assert res.band_freqs.shape == res.band_lower.shape == res.band_upper.shape
+        assert np.all(res.band_lower <= res.band_upper)
+
+    def test_deterministic_for_seed(self):
+        a = bootstrap_power_fit(make_samples(), n_boot=30, seed=6)
+        b = bootstrap_power_fit(make_samples(), n_boot=30, seed=6)
+        assert a.b.lower == b.b.lower and a.b.upper == b.b.upper
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_power_fit(make_samples(), n_boot=5)
+        with pytest.raises(ValueError):
+            bootstrap_power_fit(make_samples(), confidence=1.0)
+        tiny = SampleSet([
+            {"freq_ghz": 1.0 + 0.1 * i, "scaled_power_w": 1.0} for i in range(4)
+        ])
+        with pytest.raises(ValueError, match="at least 8"):
+            bootstrap_power_fit(tiny)
+
+
+class TestParameterInterval:
+    def test_contains(self):
+        from repro.core.uncertainty import ParameterInterval
+
+        p = ParameterInterval(estimate=1.0, lower=0.5, upper=1.5)
+        assert p.contains(1.0) and p.contains(0.5)
+        assert not p.contains(1.6)
+        assert p.width == 1.0

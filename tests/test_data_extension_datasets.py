@@ -1,0 +1,68 @@
+"""Tests for the extension datasets (SDRBench beyond Table I)."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import SZCompressor, ZFPCompressor
+from repro.data import available_datasets, get_dataset, load_field
+from repro.data.registry import TABLE1_DATASETS, table1_rows
+
+
+class TestRegistration:
+    def test_extension_datasets_registered(self):
+        assert "scale-letkf" in available_datasets()
+        assert "qmcpack" in available_datasets()
+
+    def test_table1_unchanged_by_extensions(self):
+        # The paper's Table I must stay exactly its three rows.
+        assert TABLE1_DATASETS == ("cesm-atm", "hacc", "nyx")
+        assert [r["dataset"] for r in table1_rows()] == list(TABLE1_DATASETS)
+
+    def test_geometries(self):
+        assert get_dataset("scale-letkf").full_shape == (98, 1200, 1200)
+        assert get_dataset("qmcpack").full_shape == (288, 115, 69, 69)
+
+
+class TestFourDimensionalPath:
+    """QMCPACK is the suite's only 4-D dataset: it exercises the d=4
+    code paths of both codecs end to end."""
+
+    @pytest.fixture(scope="class")
+    def field(self):
+        arr = load_field("qmcpack", "einspline", scale=12)
+        assert arr.ndim == 4
+        return arr
+
+    @pytest.mark.parametrize("codec_cls", [SZCompressor, ZFPCompressor],
+                             ids=["sz", "zfp"])
+    def test_roundtrip_bound(self, codec_cls, field):
+        codec = codec_cls()
+        buf, rec = codec.roundtrip(field, 1e-3)
+        err = np.max(np.abs(field.astype(float) - rec.astype(float)))
+        assert err <= 1e-3
+        # ZFP pads every axis to a multiple of 4, which is punishing for
+        # short trailing axes — require only that coding beats raw
+        # storage despite the padding.
+        assert buf.ratio > 1.0
+
+    def test_scaled_shape_divides_all_axes(self):
+        shape = get_dataset("qmcpack").scaled_shape(24)
+        assert all(4 <= s for s in shape)
+        assert all(a <= b for a, b in zip(shape, (288, 115, 69, 69)))
+
+
+class TestScaleLetkf:
+    def test_fields_load(self):
+        for name in ("QG", "V"):
+            arr = load_field("scale-letkf", name, scale=20)
+            assert arr.ndim == 3
+            assert np.all(np.isfinite(arr))
+
+    def test_qg_positive_like_precipitation(self):
+        arr = load_field("scale-letkf", "QG", scale=20)
+        assert np.all(arr > 0)
+
+    def test_compresses_within_bound(self):
+        arr = load_field("scale-letkf", "QG", scale=20)
+        buf, rec = SZCompressor().roundtrip(arr, 1e-2)
+        assert np.max(np.abs(arr.astype(float) - rec.astype(float))) <= 1e-2

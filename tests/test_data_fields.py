@@ -1,0 +1,137 @@
+"""Unit tests for the synthetic field generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.fields import (
+    gaussian_random_field,
+    lognormal_density_field,
+    particle_coordinates,
+    smooth_layered_field,
+    vortex_velocity_field,
+)
+
+
+class TestGaussianRandomField:
+    def test_shape_and_dtype(self):
+        f = gaussian_random_field((8, 16), seed=0)
+        assert f.shape == (8, 16)
+        assert f.dtype == np.float32
+
+    def test_normalized(self):
+        f = gaussian_random_field((64, 64), seed=1).astype(np.float64)
+        assert abs(f.mean()) < 1e-5
+        assert f.std() == pytest.approx(1.0, rel=1e-4)
+
+    def test_deterministic_per_seed(self):
+        a = gaussian_random_field((16, 16), seed=42)
+        b = gaussian_random_field((16, 16), seed=42)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = gaussian_random_field((16, 16), seed=1)
+        b = gaussian_random_field((16, 16), seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_steeper_slope_is_smoother(self):
+        rough = gaussian_random_field((256,), spectral_slope=0.5, seed=3).astype(float)
+        smooth = gaussian_random_field((256,), spectral_slope=4.0, seed=3).astype(float)
+        # Mean squared first difference measures roughness.
+        assert np.mean(np.diff(smooth) ** 2) < np.mean(np.diff(rough) ** 2)
+
+    @pytest.mark.parametrize("ndim", [1, 2, 3, 4])
+    def test_all_dims_supported(self, ndim):
+        f = gaussian_random_field((6,) * ndim, seed=0)
+        assert f.ndim == ndim
+
+    def test_5d_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_random_field((2,) * 5)
+
+    def test_finite(self):
+        assert np.all(np.isfinite(gaussian_random_field((32, 32), seed=0)))
+
+
+class TestSmoothLayeredField:
+    def test_layer_trend_applied(self):
+        f = smooth_layered_field((8, 32, 32), layer_trend=10.0, seed=0).astype(float)
+        level_means = f.mean(axis=(1, 2))
+        # Trend should dominate: level means increase with altitude.
+        assert np.all(np.diff(level_means) > 0)
+
+    def test_2d_supported(self):
+        assert smooth_layered_field((8, 32), seed=0).shape == (8, 32)
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError):
+            smooth_layered_field((32,))
+
+
+class TestLognormalDensityField:
+    def test_positive_everywhere(self):
+        f = lognormal_density_field((16, 16, 16), seed=0)
+        assert np.all(f > 0)
+
+    def test_unit_mean(self):
+        f = lognormal_density_field((32, 32), seed=1).astype(np.float64)
+        assert f.mean() == pytest.approx(1.0, rel=1e-3)
+
+    def test_higher_contrast_spikier(self):
+        lo = lognormal_density_field((64, 64), contrast=0.5, seed=2).astype(float)
+        hi = lognormal_density_field((64, 64), contrast=2.5, seed=2).astype(float)
+        assert hi.max() > lo.max()
+
+    def test_contrast_must_be_positive(self):
+        with pytest.raises(ValueError):
+            lognormal_density_field((8, 8), contrast=0.0)
+
+
+class TestParticleCoordinates:
+    def test_count_and_sorted(self):
+        x = particle_coordinates(1000, seed=0)
+        assert x.shape == (1000,)
+        assert np.all(np.diff(x) >= 0)
+
+    def test_within_box(self):
+        x = particle_coordinates(500, box_size=100.0, seed=1)
+        assert x.min() >= 0 and x.max() <= 100.0
+
+    def test_clustering_reduces_spacing_entropy(self):
+        uniform = particle_coordinates(5000, cluster_fraction=0.0, seed=2).astype(float)
+        clustered = particle_coordinates(5000, cluster_fraction=0.9, seed=2).astype(float)
+        # Clustered particles have many near-zero gaps.
+        assert np.median(np.diff(clustered)) < np.median(np.diff(uniform))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"count": 0},
+        {"count": 10, "cluster_fraction": 1.5},
+        {"count": 10, "box_size": 0.0},
+        {"count": 10, "n_clusters": 0},
+    ])
+    def test_invalid_args(self, kwargs):
+        with pytest.raises(ValueError):
+            particle_coordinates(**kwargs)
+
+
+class TestVortexVelocityField:
+    def test_components_shapes(self):
+        for comp in (0, 1, 2):
+            f = vortex_velocity_field((8, 32, 32), component=comp, seed=0)
+            assert f.shape == (8, 32, 32)
+
+    def test_swirl_antisymmetry(self):
+        # U component is odd in y: flipping y flips the swirl's sign.
+        u = vortex_velocity_field((64, 64), component=0, swirl=5.0,
+                                  spectral_slope=3.0, seed=0).astype(float)
+        mean_top = u[: 28].mean()
+        mean_bottom = u[36:].mean()
+        assert np.sign(mean_top) != np.sign(mean_bottom)
+
+    def test_invalid_component(self):
+        with pytest.raises(ValueError, match="component"):
+            vortex_velocity_field((8, 8), component=3)
+
+    def test_w_component_weaker(self):
+        w = vortex_velocity_field((64, 64), component=2, seed=1).astype(float)
+        u = vortex_velocity_field((64, 64), component=0, seed=1).astype(float)
+        assert np.abs(w).mean() < np.abs(u).mean()

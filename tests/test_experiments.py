@@ -1,0 +1,164 @@
+"""Tests for the experiment modules (tables and figures)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure1, figure2, figure3, figure4, figure5, figure6
+from repro.experiments import headline, table1, table2, table3, table4, table5
+from repro.experiments.context import ExperimentContext
+from repro.workflow.sweep import SweepConfig
+
+#: One shared fast context for all experiment tests.
+FAST = SweepConfig(
+    datasets=(("nyx", "velocity_x"), ("cesm-atm", "T"), ("hacc", "x")),
+    error_bounds=(1e-1, 1e-3),
+    transit_sizes_gb=(1.0, 8.0),
+    repeats=4,
+    data_scale=32,
+    frequency_stride=2,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(config=FAST)
+
+
+class TestStaticTables:
+    def test_table1_rows(self):
+        rows = table1.run()
+        assert [r["dataset"] for r in rows] == ["cesm-atm", "hacc", "nyx"]
+
+    def test_table2_rows(self):
+        rows = table2.run()
+        assert [r["cloudlab"] for r in rows] == ["m510", "c220g5"]
+
+    def test_table3_rows(self):
+        rows = table3.run()
+        assert len(rows) == 5
+
+    def test_mains_render(self, capsys):
+        for mod in (table1, table2, table3):
+            text = mod.main()
+            assert "TABLE" in text
+
+
+class TestModelTables:
+    def test_table4_five_rows(self, ctx):
+        rows = table4.run(ctx)
+        assert [r["model"] for r in rows] == ["Total", "SZ", "ZFP", "Broadwell", "Skylake"]
+
+    def test_table4_structure_matches_paper(self, ctx):
+        rows = {r["model"]: r for r in table4.run(ctx)}
+        # Per-architecture partitions dominate (the paper's conclusion).
+        assert rows["Broadwell"]["rmse"] < rows["Total"]["rmse"]
+        assert rows["Skylake"]["rmse"] < rows["Total"]["rmse"]
+        assert rows["Broadwell"]["r2"] > 0.85
+        assert rows["Skylake"]["r2"] > 0.80
+
+    def test_table5_three_rows(self, ctx):
+        rows = table5.run(ctx)
+        assert [r["model"] for r in rows] == ["Total", "Broadwell", "Skylake"]
+
+    def test_table5_per_arch_dominates(self, ctx):
+        rows = {r["model"]: r for r in table5.run(ctx)}
+        assert rows["Broadwell"]["rmse"] < rows["Total"]["rmse"]
+        assert rows["Skylake"]["rmse"] < rows["Total"]["rmse"]
+
+    def test_paper_reference_rows_exposed(self):
+        assert len(table4.PAPER_ROWS) == 5
+        assert len(table5.PAPER_ROWS) == 3
+
+
+class TestCharacteristicFigures:
+    def test_figure1_bands(self, ctx):
+        bands = figure1.run(ctx)
+        assert set(bands) == {
+            ("broadwell", "sz"), ("broadwell", "zfp"),
+            ("skylake", "sz"), ("skylake", "zfp"),
+        }
+        for band in bands.values():
+            # Critical power slope: max at fmax, floor in the 0.7-0.9 band.
+            assert band.mean[-1] == max(band.mean)
+            assert 0.68 < band.mean[0] < 0.92
+            assert np.all(band.half_width >= 0)
+
+    def test_figure2_bands(self, ctx):
+        bands = figure2.run(ctx)
+        for band in bands.values():
+            assert band.mean[-1] == min(band.mean)  # fastest at fmax
+            assert band.mean[0] == max(band.mean)   # slowest at fmin
+
+    def test_figure2_sz_zfp_overlap(self, ctx):
+        # Paper: "the trends overlap showing consistent runtimes".
+        bands = figure2.run(ctx)
+        sz = bands[("broadwell", "sz")].mean
+        zfp = bands[("broadwell", "zfp")].mean
+        assert np.max(np.abs(sz - zfp)) < 0.05
+
+    def test_figure3_bands(self, ctx):
+        bands = figure3.run(ctx)
+        assert set(bands) == {("broadwell",), ("skylake",)}
+        # Write floor is higher than the compression floor (Fig. 3 note).
+        comp = figure1.run(ctx)
+        assert bands[("broadwell",)].mean[0] > comp[("broadwell", "sz")].mean[0]
+
+    def test_figure4_skylake_stagnant(self, ctx):
+        bands = figure4.run(ctx)
+        sky_stretch = bands[("skylake",)].mean[0]
+        bw_stretch = bands[("broadwell",)].mean[0]
+        assert sky_stretch < bw_stretch  # Skylake writes barely stretch
+
+
+class TestFigure5:
+    def test_validation_gof_band(self, ctx):
+        result = figure5.run(ctx)
+        # Generalizes like the paper: small RMSE (paper: 0.0256).
+        assert result.gof.rmse < 0.06
+        assert result.gof.sse < 0.8
+
+    def test_heldout_samples_are_isabel(self, ctx):
+        result = figure5.run(ctx)
+        assert set(result.samples.unique("dataset")) == {"hurricane-isabel"}
+        assert len(result.samples.unique("field")) == 6
+
+    def test_curve_shapes(self, ctx):
+        f, obs, pred = figure5.run(ctx).curve()
+        assert f.shape == obs.shape == pred.shape
+        assert np.all((obs > 0.5) & (obs < 1.2))
+
+
+class TestFigure6:
+    def test_savings_always_positive(self, ctx):
+        results = figure6.run(ctx, error_bounds=(1e-1, 1e-3), target_bytes=int(64e9))
+        for arch, reports in results.items():
+            for rep in reports:
+                assert rep.energy_saved_j > 0, f"{arch} eb={rep.error_bound}"
+
+    def test_finer_bound_more_baseline_energy(self, ctx):
+        results = figure6.run(ctx, archs=("skylake",),
+                              error_bounds=(1e-1, 1e-4), target_bytes=int(64e9))
+        reports = results["skylake"]
+        assert reports[1].baseline_energy_j > reports[0].baseline_energy_j
+
+    def test_savings_fraction_in_paper_band(self, ctx):
+        results = figure6.run(ctx, error_bounds=(1e-1, 1e-2), target_bytes=int(512e9))
+        fractions = [r.energy_saving_fraction
+                     for reports in results.values() for r in reports]
+        # Paper: ~13 %. Band: everything between 3 % and 25 % across archs.
+        assert all(0.02 < f < 0.25 for f in fractions)
+
+
+class TestHeadline:
+    def test_numbers_in_band(self, ctx):
+        nums = headline.run(ctx)
+        assert 0.10 < nums.compress_power_saving < 0.25   # paper 19.4 %
+        assert 0.05 < nums.write_power_saving < 0.18      # paper 11.2 %
+        assert 0.04 < nums.compress_slowdown < 0.11       # paper 7.5 %
+        assert 0.05 < nums.write_slowdown < 0.14          # paper 9.3 %
+        assert nums.combined_energy_saving > 0.03
+        assert abs(nums.combined_slowdown - 0.084) < 0.03
+
+    def test_main_renders(self, ctx, capsys):
+        text = headline.main(ctx)
+        assert "compress_power_saving" in text

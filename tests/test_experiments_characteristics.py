@@ -1,0 +1,89 @@
+"""Unit tests for the shared characteristic-curve machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.samples import SampleSet
+from repro.experiments.characteristics import bands_to_series, characteristic_bands
+from repro.experiments.context import ExperimentContext
+from repro.workflow.sweep import SweepConfig
+
+
+def make_samples():
+    """Two series (cpu a/b), two freqs, two repeats each."""
+    records = []
+    for cpu, ref in (("a", 10.0), ("b", 20.0)):
+        for freq, scale in ((1.0, 0.8), (2.0, 1.0)):
+            power = ref * scale
+            records.append(
+                {
+                    "cpu": cpu,
+                    "freq_ghz": freq,
+                    "power_w": power,
+                    "runtime_s": 4.0 / scale,
+                    "scaled_power_w": scale,
+                    "scaled_runtime_s": 1.0 / scale,
+                    "power_samples": (power * 0.99, power * 1.01),
+                    "runtime_samples": (4.0 / scale * 0.99, 4.0 / scale * 1.01),
+                }
+            )
+    return SampleSet(records)
+
+
+class TestCharacteristicBands:
+    def test_band_per_group(self):
+        bands = characteristic_bands(make_samples(), ("cpu",), "power")
+        assert set(bands) == {("a",), ("b",)}
+
+    def test_scaled_means(self):
+        bands = characteristic_bands(make_samples(), ("cpu",), "power")
+        band = bands[("a",)]
+        assert band.x.tolist() == [1.0, 2.0]
+        assert band.mean == pytest.approx([0.8, 1.0], rel=1e-6)
+
+    def test_ci_reflects_repeat_scatter(self):
+        bands = characteristic_bands(make_samples(), ("cpu",), "power")
+        assert np.all(bands[("a",)].half_width > 0)
+
+    def test_runtime_value_key(self):
+        bands = characteristic_bands(make_samples(), ("cpu",), "runtime")
+        assert bands[("b",)].mean == pytest.approx([1.25, 1.0], rel=1e-6)
+
+    def test_unknown_value_rejected(self):
+        with pytest.raises(KeyError, match="value must be"):
+            characteristic_bands(make_samples(), ("cpu",), "temperature")
+
+    def test_missing_repeats_fall_back_to_mean(self):
+        records = [
+            {"cpu": "a", "freq_ghz": f, "power_w": p, "scaled_power_w": s,
+             "runtime_s": 1.0, "scaled_runtime_s": 1.0}
+            for f, p, s in ((1.0, 8.0, 0.8), (2.0, 10.0, 1.0))
+        ]
+        bands = characteristic_bands(SampleSet(records), ("cpu",), "power")
+        assert bands[("a",)].half_width.tolist() == [0.0, 0.0]
+
+    def test_bands_to_series(self):
+        series = bands_to_series(
+            characteristic_bands(make_samples(), ("cpu",), "power")
+        )
+        assert set(series) == {"a", "b"}
+        assert set(series["a"]) == {"x", "mean", "lower", "upper"}
+
+
+class TestExperimentContext:
+    def test_outcome_cached(self):
+        ctx = ExperimentContext(
+            config=SweepConfig(
+                datasets=(("nyx", "velocity_x"),),
+                error_bounds=(1e-2,), transit_sizes_gb=(1.0,),
+                repeats=2, data_scale=32, frequency_stride=6,
+                measure_ratios=False,
+            )
+        )
+        assert ctx.outcome is ctx.outcome  # computed once
+
+    def test_node_lookup(self):
+        ctx = ExperimentContext()
+        assert ctx.node("broadwell").cpu.arch == "broadwell"
+        with pytest.raises(KeyError):
+            ctx.node("epyc")

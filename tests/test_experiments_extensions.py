@@ -1,0 +1,72 @@
+"""Tests for the packaged extension studies."""
+
+import pytest
+
+from repro.experiments import extensions
+from repro.experiments.context import ExperimentContext
+from repro.workflow.sweep import SweepConfig
+
+FAST_CTX_CONFIG = SweepConfig(
+    datasets=(("nyx", "velocity_x"),),
+    error_bounds=(1e-1, 1e-3),
+    transit_sizes_gb=(1.0,),
+    repeats=2,
+    data_scale=32,
+    frequency_stride=5,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(config=FAST_CTX_CONFIG)
+
+
+class TestRunRestore:
+    def test_rows_and_claims(self, ctx):
+        rows = extensions.run_restore(ctx)
+        assert len(rows) == 4
+        for r in rows:
+            assert r["restore_saved_pct"] > 0
+            assert r["dump_saved_pct"] > 0
+            assert r["restore_vs_dump_energy"] < 1.0  # restore is cheaper
+
+
+class TestRunCluster:
+    def test_contention_grows(self, ctx):
+        rows = extensions.run_cluster(ctx)
+        fracs = [r["cpu_bound_frac"] for r in rows]
+        assert fracs == sorted(fracs, reverse=True)
+        assert all(r["saved_pct"] > 0 for r in rows)
+
+
+class TestRunBreakeven:
+    def test_finer_bounds_need_more_contention(self, ctx):
+        rows = extensions.run_breakeven(ctx)
+        counts = [r["clients_for_compress_win"] for r in rows]
+        numeric = [c for c in counts if isinstance(c, int)]
+        assert numeric == sorted(numeric)
+
+
+class TestRunMulticore:
+    def test_co_tuning_dominates(self):
+        rows = extensions.run_multicore()
+        for r in rows:
+            assert r["opt_cores"] > 1
+            assert r["energy_factor"] > 2.0
+
+
+class TestMain:
+    def test_renders_table(self, ctx, capsys):
+        text = extensions.main("ext-breakeven", ctx)
+        assert "crossover" in text
+
+    def test_unknown_study(self):
+        with pytest.raises(KeyError, match="unknown extension study"):
+            extensions.main("ext-nope")
+
+    def test_cli_routes_extension(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "ext-multicore",
+                     "--repeats", "2", "--stride", "6", "--scale", "32"]) == 0
+        assert "co-tuning" in capsys.readouterr().out

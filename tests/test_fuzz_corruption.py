@@ -1,0 +1,122 @@
+"""Failure injection: corrupted streams must fail loudly, never hang.
+
+Decoders face byte streams from disks and networks; a flipped bit must
+produce a clean exception (or, where the corruption lands in payload
+data rather than structure, a decoded array) — never an unbounded loop,
+a segfault-from-NumPy-indexing, or silent shape corruption.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors import (
+    ChunkedBuffer,
+    LosslessCompressor,
+    SZCompressor,
+    ZFPCompressor,
+)
+from repro.compressors.base import CompressedBuffer
+from repro.data import load_field
+
+#: Exceptions a decoder may raise on corrupt input; anything else is a bug.
+ALLOWED = (ValueError, EOFError, KeyError, IndexError, OverflowError)
+
+CODECS = (SZCompressor(), ZFPCompressor(), LosslessCompressor())
+
+
+def reference_buffer(codec):
+    arr = load_field("nyx", "velocity_x", scale=40)
+    return arr, codec.compress(arr, 1e-2)
+
+
+class TestBitFlips:
+    @pytest.mark.parametrize("codec", CODECS, ids=lambda c: c.name)
+    def test_payload_bit_flips_fail_cleanly(self, codec):
+        arr, buf = reference_buffer(codec)
+        rng = np.random.default_rng(0)
+        payload = bytearray(buf.payload)
+        for _ in range(30):
+            corrupted = bytearray(payload)
+            pos = int(rng.integers(0, len(corrupted)))
+            corrupted[pos] ^= 1 << int(rng.integers(0, 8))
+            bad = CompressedBuffer(
+                codec=buf.codec, payload=bytes(corrupted), shape=buf.shape,
+                dtype=buf.dtype, error_bound=buf.error_bound,
+            )
+            try:
+                out = codec.decompress(bad)
+            except ALLOWED:
+                continue
+            # Decoded despite corruption: shape/dtype must still hold.
+            assert out.shape == arr.shape
+            assert out.dtype == arr.dtype
+
+    @pytest.mark.parametrize("codec", CODECS, ids=lambda c: c.name)
+    def test_truncations_fail_cleanly(self, codec):
+        arr, buf = reference_buffer(codec)
+        for frac in (0.0, 0.1, 0.5, 0.9):
+            cut = int(len(buf.payload) * frac)
+            bad = CompressedBuffer(
+                codec=buf.codec, payload=buf.payload[:cut], shape=buf.shape,
+                dtype=buf.dtype, error_bound=buf.error_bound,
+            )
+            with pytest.raises(ALLOWED):
+                codec.decompress(bad)
+
+    @given(st.binary(min_size=0, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_random_garbage_buffers(self, junk):
+        with pytest.raises(ALLOWED):
+            CompressedBuffer.from_bytes(junk)
+        with pytest.raises(ALLOWED):
+            ChunkedBuffer.from_bytes(junk)
+
+    @given(st.integers(0, 2**31), st.sampled_from(["sz", "zfp"]))
+    @settings(max_examples=25, deadline=None)
+    def test_random_payloads_behind_valid_header(self, seed, codec_name):
+        from repro.compressors.base import get_compressor
+
+        rng = np.random.default_rng(seed)
+        junk = rng.integers(0, 256, size=rng.integers(1, 300)).astype(np.uint8)
+        bad = CompressedBuffer(
+            codec=codec_name, payload=junk.tobytes(), shape=(8, 8),
+            dtype=np.dtype(np.float32), error_bound=1e-2,
+        )
+        codec = get_compressor(codec_name)
+        try:
+            out = codec.decompress(bad)
+        except ALLOWED:
+            return
+        assert out.shape == (8, 8)
+
+
+class TestWrongMetadata:
+    def test_swapped_dtype_fails_or_decodes_shaped(self):
+        arr = load_field("nyx", "velocity_x", scale=40).astype(np.float64)
+        codec = SZCompressor()
+        buf = codec.compress(arr, 1e-2)
+        lied = CompressedBuffer(
+            codec=buf.codec, payload=buf.payload, shape=buf.shape,
+            dtype=np.dtype(np.float32), error_bound=buf.error_bound,
+        )
+        try:
+            out = codec.decompress(lied)
+        except ALLOWED:
+            return
+        assert out.dtype == np.float32
+
+    def test_wrong_error_bound_degrades_not_crashes(self):
+        # SZ derives the grid from the recorded bound: decoding with a
+        # different bound yields wrong values but a well-formed array.
+        arr = load_field("nyx", "velocity_x", scale=40)
+        codec = SZCompressor()
+        buf = codec.compress(arr, 1e-2)
+        lied = CompressedBuffer(
+            codec=buf.codec, payload=buf.payload, shape=buf.shape,
+            dtype=buf.dtype, error_bound=1e-1,
+        )
+        out = codec.decompress(lied)
+        assert out.shape == arr.shape
+        assert np.max(np.abs(out - arr)) > 1e-2  # values really are wrong

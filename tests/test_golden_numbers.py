@@ -1,0 +1,87 @@
+"""Golden-number regression guards.
+
+EXPERIMENTS.md publishes seed-0 results; these tests pin the key values
+(with tolerances wide enough for legitimate refactors, tight enough to
+flag modeling changes) so an accidental change to the substrate or the
+pipeline cannot silently shift the published reproduction.
+
+If one of these fails after an *intentional* modeling change, update
+EXPERIMENTS.md alongside the expected values here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure5, figure6, headline
+from repro.experiments.context import ExperimentContext
+from repro.workflow.sweep import SweepConfig
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    # The full published configuration (fast: ~2 s).
+    return ExperimentContext(config=SweepConfig())
+
+
+class TestGoldenTable4(object):
+    def test_broadwell_row(self, ctx):
+        m = ctx.outcome.compression_models["Broadwell"]
+        assert m.b == pytest.approx(5.32, abs=0.15)
+        assert m.c == pytest.approx(0.744, abs=0.01)
+        assert m.gof.rmse == pytest.approx(0.0156, abs=0.004)
+        assert m.gof.r2 == pytest.approx(0.959, abs=0.02)
+
+    def test_skylake_row(self, ctx):
+        m = ctx.outcome.compression_models["Skylake"]
+        assert m.b == pytest.approx(23.6, abs=1.0)
+        assert m.c == pytest.approx(0.784, abs=0.01)
+
+    def test_pooled_row(self, ctx):
+        m = ctx.outcome.compression_models["Total"]
+        assert m.gof.r2 == pytest.approx(0.544, abs=0.05)
+        assert m.gof.rmse == pytest.approx(0.0428, abs=0.005)
+
+
+class TestGoldenTable5:
+    def test_broadwell_row(self, ctx):
+        m = ctx.outcome.transit_models["Broadwell"]
+        assert m.b == pytest.approx(3.45, abs=0.2)
+        assert m.c == pytest.approx(0.717, abs=0.01)
+
+    def test_skylake_row(self, ctx):
+        m = ctx.outcome.transit_models["Skylake"]
+        assert m.b == pytest.approx(21.5, abs=1.2)
+        assert m.c == pytest.approx(0.870, abs=0.01)
+
+
+class TestGoldenFigure5:
+    def test_validation_gf(self, ctx):
+        result = figure5.run(ctx)
+        assert result.gof.sse == pytest.approx(0.0604, abs=0.02)
+        assert result.gof.rmse == pytest.approx(0.0142, abs=0.004)
+
+
+class TestGoldenFigure6:
+    def test_per_arch_savings(self, ctx):
+        results = figure6.run(ctx)
+        bw = np.mean([r.energy_saved_j for r in results["broadwell"]]) / 1e3
+        sky = np.mean([r.energy_saved_j for r in results["skylake"]]) / 1e3
+        assert bw == pytest.approx(3.9, abs=0.8)
+        assert sky == pytest.approx(12.5, abs=1.5)
+
+    def test_mean_saving_fraction(self, ctx):
+        results = figure6.run(ctx)
+        fracs = [r.energy_saving_fraction
+                 for reports in results.values() for r in reports]
+        assert float(np.mean(fracs)) == pytest.approx(0.111, abs=0.02)
+
+
+class TestGoldenHeadline:
+    def test_published_values(self, ctx):
+        nums = headline.run(ctx)
+        assert nums.compress_power_saving == pytest.approx(0.167, abs=0.01)
+        assert nums.compress_slowdown == pytest.approx(0.073, abs=0.008)
+        assert nums.write_power_saving == pytest.approx(0.123, abs=0.012)
+        assert nums.write_slowdown == pytest.approx(0.095, abs=0.01)
+        assert nums.combined_slowdown == pytest.approx(0.084, abs=0.008)
+        assert nums.combined_energy_saving == pytest.approx(0.074, abs=0.015)

@@ -1,0 +1,57 @@
+"""Unit tests for the cpufreq emulation."""
+
+import pytest
+
+from repro.hardware.cpu import BROADWELL_D1548
+from repro.hardware.dvfs import FrequencyError, FrequencyScaler, Governor
+
+
+@pytest.fixture
+def scaler():
+    return FrequencyScaler(BROADWELL_D1548)
+
+
+class TestDefaults:
+    def test_boots_at_performance_fmax(self, scaler):
+        assert scaler.governor is Governor.PERFORMANCE
+        assert scaler.current_ghz == 2.0
+
+
+class TestCpufreqSet:
+    def test_pins_and_switches_governor(self, scaler):
+        applied = scaler.cpufreq_set(1.5)
+        assert applied == 1.5
+        assert scaler.current_ghz == 1.5
+        assert scaler.governor is Governor.USERSPACE
+
+    def test_snaps_to_grid(self, scaler):
+        assert scaler.cpufreq_set(1.512) == pytest.approx(1.5)
+
+    def test_out_of_range_raises_frequency_error(self, scaler):
+        with pytest.raises(FrequencyError):
+            scaler.cpufreq_set(3.0)
+        # State unchanged after a failed set.
+        assert scaler.current_ghz == 2.0
+
+
+class TestGovernors:
+    def test_powersave_pins_fmin(self, scaler):
+        assert scaler.set_governor(Governor.POWERSAVE) == 0.8
+        assert scaler.current_ghz == 0.8
+
+    def test_performance_pins_fmax(self, scaler):
+        scaler.cpufreq_set(1.0)
+        assert scaler.set_governor(Governor.PERFORMANCE) == 2.0
+
+    def test_userspace_keeps_current(self, scaler):
+        scaler.cpufreq_set(1.2)
+        assert scaler.set_governor(Governor.USERSPACE) == pytest.approx(1.2)
+
+    def test_invalid_governor(self, scaler):
+        with pytest.raises(FrequencyError):
+            scaler.set_governor("turbo")
+
+    def test_reset(self, scaler):
+        scaler.cpufreq_set(0.9)
+        assert scaler.reset() == 2.0
+        assert scaler.governor is Governor.PERFORMANCE

@@ -1,0 +1,134 @@
+"""Unit tests for the simulated node."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.cpu import BROADWELL_D1548, SKYLAKE_4114
+from repro.hardware.node import SimulatedNode
+from repro.hardware.powercurves import CalibratedPowerCurve, PhysicalPowerCurve
+from repro.hardware.workload import WorkloadKind, compression_workload
+
+
+def make_node(**kw):
+    return SimulatedNode(BROADWELL_D1548, **kw)
+
+
+def make_workload():
+    return compression_workload(WorkloadKind.COMPRESS_SZ, int(1e9), 1e-2)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        node = make_node()
+        assert node.frequency_ghz == 2.0
+        assert isinstance(node.power_curve, CalibratedPowerCurve)
+
+    def test_custom_curve(self):
+        node = make_node(power_curve=PhysicalPowerCurve())
+        assert isinstance(node.power_curve, PhysicalPowerCurve)
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValueError):
+            make_node(power_noise=0.6)
+
+
+class TestGroundTruth:
+    def test_true_runtime_matches_workload_model(self):
+        node = make_node()
+        wl = make_workload()
+        node.set_frequency(1.5)
+        assert node.true_runtime_s(wl) == pytest.approx(
+            wl.runtime_s(BROADWELL_D1548, 1.5)
+        )
+
+    def test_true_power_includes_dynamic_factor(self):
+        node = make_node()
+        wl = make_workload()
+        raw = node.power_curve.power_watts(
+            BROADWELL_D1548, 2.0, wl.kind, dynamic_factor=wl.dynamic_power_factor
+        )
+        assert node.true_power_w(wl, 2.0) == pytest.approx(raw)
+
+
+class TestRun:
+    def test_measurement_fields(self):
+        node = make_node(seed=0)
+        m = node.run(make_workload())
+        assert m.cpu == "broadwell"
+        assert m.freq_ghz == 2.0
+        assert m.energy_j > 0 and m.runtime_s > 0
+        assert m.power_w == pytest.approx(m.energy_j / m.runtime_s)
+
+    def test_noise_centered_on_truth(self):
+        node = make_node(seed=1)
+        wl = make_workload()
+        runs = [node.run(wl) for _ in range(200)]
+        mean_power = np.mean([m.power_w for m in runs])
+        assert mean_power == pytest.approx(node.true_power_w(wl), rel=0.01)
+
+    def test_zero_noise_is_deterministic(self):
+        node = make_node(power_noise=0.0, runtime_noise=0.0)
+        wl = make_workload()
+        a, b = node.run(wl), node.run(wl)
+        assert a.energy_j == pytest.approx(b.energy_j)
+        assert a.runtime_s == b.runtime_s
+
+    def test_seed_reproducibility(self):
+        wl = make_workload()
+        a = SimulatedNode(BROADWELL_D1548, seed=7).run(wl)
+        b = SimulatedNode(BROADWELL_D1548, seed=7).run(wl)
+        assert a == b
+
+    def test_lower_frequency_lower_power(self):
+        node = make_node(power_noise=0.0, runtime_noise=0.0)
+        wl = make_workload()
+        node.set_frequency(2.0)
+        high = node.run(wl)
+        node.set_frequency(0.8)
+        low = node.run(wl)
+        assert low.power_w < high.power_w
+        assert low.runtime_s > high.runtime_s
+
+    def test_long_run_survives_rapl_wrap(self):
+        # A >65.5 kJ run must still measure correctly (polling reads).
+        node = make_node(power_noise=0.0, runtime_noise=0.0)
+        wl = compression_workload(WorkloadKind.COMPRESS_SZ, int(600e9), 1e-4)
+        m = node.run(wl)
+        expected = node.true_power_w(wl) * node.true_runtime_s(wl)
+        assert expected > 66_000.0  # really does cross the wrap
+        assert m.energy_j == pytest.approx(expected, rel=1e-6)
+
+    def test_energy_equals_power_times_time(self):
+        node = make_node(seed=3)
+        m = node.run(make_workload())
+        assert m.energy_j == pytest.approx(m.power_w * m.runtime_s, rel=1e-9)
+
+
+class TestFrequencyControl:
+    def test_set_frequency_snaps(self):
+        node = make_node()
+        assert node.set_frequency(1.512) == pytest.approx(1.5)
+        assert node.frequency_ghz == pytest.approx(1.5)
+
+    def test_out_of_range(self):
+        node = make_node()
+        with pytest.raises(Exception):
+            node.set_frequency(9.9)
+
+
+class TestSkylakeNode:
+    def test_skylake_power_jumps_near_base_clock(self):
+        # Skylake's "constant region with a sudden jump": backing off
+        # just 10 % from the base clock sheds far more power than the
+        # same relative backoff does on Broadwell.
+        wl = make_workload()
+        sky = SimulatedNode(SKYLAKE_4114, power_noise=0.0, runtime_noise=0.0)
+        bw = SimulatedNode(BROADWELL_D1548, power_noise=0.0, runtime_noise=0.0)
+
+        def drop_at_90pct(node):
+            cpu = node.cpu
+            f = cpu.snap_frequency(0.9 * cpu.fmax_ghz)
+            base = node.true_power_w(wl, cpu.fmax_ghz)
+            return 1.0 - node.true_power_w(wl, f) / base
+
+        assert drop_at_90pct(sky) > drop_at_90pct(bw)

@@ -1,0 +1,73 @@
+"""Unit tests for the perf-style measurement wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.cpu import BROADWELL_D1548
+from repro.hardware.node import SimulatedNode
+from repro.hardware.perf import PerfStat
+from repro.hardware.workload import WorkloadKind, compression_workload
+
+
+@pytest.fixture
+def node():
+    return SimulatedNode(BROADWELL_D1548, seed=0)
+
+
+@pytest.fixture
+def workload():
+    return compression_workload(WorkloadKind.COMPRESS_SZ, int(5e8), 1e-2)
+
+
+class TestMeasure:
+    def test_sample_fields(self, node, workload):
+        perf = PerfStat(node, repeats=10)
+        s = perf.measure(workload, 1.5)
+        assert s.cpu == "broadwell"
+        assert s.freq_ghz == pytest.approx(1.5)
+        assert s.repeats == 10
+        assert len(s.energy_samples) == 10
+        assert len(s.runtime_samples) == 10
+
+    def test_averages_match_samples(self, node, workload):
+        s = PerfStat(node, repeats=8).measure(workload, 2.0)
+        assert s.energy_j == pytest.approx(np.mean(s.energy_samples))
+        assert s.runtime_s == pytest.approx(np.mean(s.runtime_samples))
+
+    def test_power_property(self, node, workload):
+        s = PerfStat(node, repeats=5).measure(workload, 2.0)
+        assert s.power_w == pytest.approx(s.energy_j / s.runtime_s)
+        assert len(s.power_samples) == 5
+
+    def test_averaging_reduces_variance(self, workload):
+        singles, tens = [], []
+        for seed in range(30):
+            n1 = SimulatedNode(BROADWELL_D1548, seed=seed)
+            n2 = SimulatedNode(BROADWELL_D1548, seed=seed + 1000)
+            singles.append(PerfStat(n1, repeats=1).measure(workload, 2.0).power_w)
+            tens.append(PerfStat(n2, repeats=10).measure(workload, 2.0).power_w)
+        assert np.std(tens) < np.std(singles)
+
+    def test_repeats_validation(self, node):
+        with pytest.raises(ValueError):
+            PerfStat(node, repeats=0)
+
+    def test_snaps_frequency(self, node, workload):
+        s = PerfStat(node, repeats=2).measure(workload, 1.512)
+        assert s.freq_ghz == pytest.approx(1.5)
+
+
+class TestSweep:
+    def test_default_grid(self, node, workload):
+        samples = PerfStat(node, repeats=2).sweep(workload)
+        assert len(samples) == len(BROADWELL_D1548.available_frequencies())
+        freqs = [s.freq_ghz for s in samples]
+        assert freqs == sorted(freqs)
+
+    def test_custom_grid(self, node, workload):
+        samples = PerfStat(node, repeats=2).sweep(workload, [0.8, 1.4, 2.0])
+        assert [s.freq_ghz for s in samples] == [0.8, 1.4, 2.0]
+
+    def test_power_increases_along_sweep(self, node, workload):
+        samples = PerfStat(node, repeats=10).sweep(workload, [0.8, 2.0])
+        assert samples[0].power_w < samples[-1].power_w

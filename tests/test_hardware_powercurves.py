@@ -1,0 +1,119 @@
+"""Unit tests for the power-curve ground truths."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.cpu import BROADWELL_D1548, SKYLAKE_4114
+from repro.hardware.powercurves import CalibratedPowerCurve, PhysicalPowerCurve
+from repro.hardware.workload import WorkloadKind
+
+CPUS = (BROADWELL_D1548, SKYLAKE_4114)
+KINDS = (WorkloadKind.COMPRESS_SZ, WorkloadKind.COMPRESS_ZFP, WorkloadKind.WRITE)
+
+
+@pytest.fixture(params=[CalibratedPowerCurve, PhysicalPowerCurve])
+def curve(request):
+    return request.param()
+
+
+class TestCommonProperties:
+    def test_positive_everywhere(self, curve):
+        for cpu in CPUS:
+            for kind in KINDS:
+                for f in cpu.available_frequencies():
+                    assert curve.power_watts(cpu, float(f), kind) > 0
+
+    def test_monotone_nondecreasing(self, curve):
+        for cpu in CPUS:
+            for kind in KINDS:
+                p = [curve.power_watts(cpu, float(f), kind)
+                     for f in cpu.available_frequencies()]
+                assert np.all(np.diff(p) >= -1e-9)
+
+    def test_scaled_power_is_one_at_fmax(self, curve):
+        for cpu in CPUS:
+            for kind in KINDS:
+                assert curve.scaled_power(cpu, cpu.fmax_ghz, kind) == pytest.approx(1.0)
+
+    def test_below_tdp(self, curve):
+        # Single-core power must stay well under the package TDP.
+        for cpu in CPUS:
+            for kind in KINDS:
+                assert curve.power_watts(cpu, cpu.fmax_ghz, kind) < cpu.tdp_watts
+
+    def test_critical_power_slope_shape(self, curve):
+        # The floor (fmin) sits in the 0.6-0.95 scaled band the paper shows.
+        for cpu in CPUS:
+            for kind in KINDS:
+                floor = curve.scaled_power(cpu, cpu.fmin_ghz, kind)
+                assert 0.6 < floor < 0.96
+
+    def test_skylake_steeper_near_top(self, curve):
+        # Skylake's curve is flat then jumps: the top-10% frequency span
+        # contains a larger power rise than on Broadwell.
+        def top_rise(cpu):
+            f_hi = cpu.fmax_ghz
+            f_90 = cpu.snap_frequency(cpu.fmin_ghz + 0.9 * cpu.frequency_span)
+            k = WorkloadKind.COMPRESS_SZ
+            return curve.scaled_power(cpu, f_hi, k) - curve.scaled_power(cpu, f_90, k)
+
+        assert top_rise(SKYLAKE_4114) > top_rise(BROADWELL_D1548)
+
+
+class TestCalibratedCurve:
+    def test_matches_paper_broadwell_compress(self):
+        c = CalibratedPowerCurve()
+        # Ground truth = paper Table IV Broadwell row (for unit dynamic
+        # factor the sz/zfp modulation averages out; test the midpoint).
+        f = 1.6
+        sz = c.scaled_power(BROADWELL_D1548, f, WorkloadKind.COMPRESS_SZ)
+        paper = 0.0064 * f**5.315 + 0.7429
+        paper_at_max = 0.0064 * 2.0**5.315 + 0.7429
+        assert sz == pytest.approx(paper / paper_at_max, rel=0.03)
+
+    def test_sz_draws_more_than_zfp(self):
+        c = CalibratedPowerCurve()
+        f = 1.8
+        assert c.power_watts(
+            BROADWELL_D1548, f, WorkloadKind.COMPRESS_SZ
+        ) > c.power_watts(BROADWELL_D1548, f, WorkloadKind.COMPRESS_ZFP)
+
+    def test_write_draws_more_than_compress(self):
+        c = CalibratedPowerCurve()
+        for cpu in CPUS:
+            assert c.power_watts(cpu, cpu.fmax_ghz, WorkloadKind.WRITE) > c.power_watts(
+                cpu, cpu.fmax_ghz, WorkloadKind.COMPRESS_SZ
+            )
+
+    def test_dynamic_factor_modulates_only_dynamic_term(self):
+        c = CalibratedPowerCurve()
+        cpu = BROADWELL_D1548
+        k = WorkloadKind.COMPRESS_SZ
+        at_min_lo = c.power_watts(cpu, cpu.fmin_ghz, k, dynamic_factor=0.9)
+        at_min_hi = c.power_watts(cpu, cpu.fmin_ghz, k, dynamic_factor=1.1)
+        at_max_lo = c.power_watts(cpu, cpu.fmax_ghz, k, dynamic_factor=0.9)
+        at_max_hi = c.power_watts(cpu, cpu.fmax_ghz, k, dynamic_factor=1.1)
+        # Static floor dominates at fmin: difference grows with frequency.
+        assert (at_max_hi - at_max_lo) > (at_min_hi - at_min_lo)
+
+
+class TestPhysicalCurve:
+    def test_write_has_higher_floor_than_compress(self):
+        c = PhysicalPowerCurve()
+        for cpu in CPUS:
+            w = c.scaled_power(cpu, cpu.fmin_ghz, WorkloadKind.WRITE)
+            z = c.scaled_power(cpu, cpu.fmin_ghz, WorkloadKind.COMPRESS_SZ)
+            assert w > z
+
+    def test_differs_from_calibrated(self):
+        # The ablation control must not be a re-parameterization of the
+        # calibrated curve.
+        cal, phys = CalibratedPowerCurve(), PhysicalPowerCurve()
+        cpu = BROADWELL_D1548
+        k = WorkloadKind.COMPRESS_SZ
+        mids = [1.0, 1.3, 1.6]
+        diffs = [
+            abs(cal.scaled_power(cpu, f, k) - phys.scaled_power(cpu, f, k))
+            for f in mids
+        ]
+        assert max(diffs) > 0.01

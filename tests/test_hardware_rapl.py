@@ -1,0 +1,86 @@
+"""Unit tests for the RAPL counter emulation."""
+
+import pytest
+
+from repro.hardware.rapl import COUNTER_WRAP, DEFAULT_UNIT_JOULES, RaplCounter
+
+
+class TestAccumulation:
+    def test_starts_at_zero(self):
+        assert RaplCounter().read() == 0
+
+    def test_quantizes_to_units(self):
+        c = RaplCounter()
+        c.accumulate(1.0)
+        assert c.read() == int(1.0 / DEFAULT_UNIT_JOULES)
+
+    def test_sub_unit_residual_carries(self):
+        c = RaplCounter()
+        half_unit = DEFAULT_UNIT_JOULES / 2
+        c.accumulate(half_unit)
+        assert c.read() == 0
+        c.accumulate(half_unit)
+        assert c.read() == 1
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            RaplCounter().accumulate(-1.0)
+
+    def test_monotone_internal_tally(self):
+        c = RaplCounter()
+        prev = c.read()
+        wraps_seen = 0
+        for _ in range(5):
+            c.accumulate(20_000.0)
+            cur = c.read()
+            if cur < prev:
+                wraps_seen += 1
+            prev = cur
+        assert c.wraps == wraps_seen
+
+
+class TestWraparound:
+    def test_register_wraps_at_32_bits(self):
+        c = RaplCounter()
+        wrap_joules = COUNTER_WRAP * DEFAULT_UNIT_JOULES  # ~65.5 kJ
+        c.accumulate(wrap_joules + 1.0)
+        assert c.read() == pytest.approx(1.0 / DEFAULT_UNIT_JOULES, abs=1)
+        assert c.wraps == 1
+
+    def test_delta_across_wrap(self):
+        c = RaplCounter()
+        c.accumulate(65_000.0)
+        before = c.read()
+        c.accumulate(1_000.0)  # crosses the ~65.5 kJ wrap
+        after = c.read()
+        assert after < before  # wrapped
+        assert c.delta_joules(before, after) == pytest.approx(1_000.0, rel=1e-6)
+
+    def test_delta_without_wrap(self):
+        c = RaplCounter()
+        before = c.read()
+        c.accumulate(123.456)
+        assert c.delta_joules(before, c.read()) == pytest.approx(123.456, rel=1e-6)
+
+    def test_delta_validates_register_range(self):
+        c = RaplCounter()
+        with pytest.raises(ValueError):
+            c.delta_joules(-1, 0)
+        with pytest.raises(ValueError):
+            c.delta_joules(0, COUNTER_WRAP)
+
+    def test_read_joules_wraps_like_register(self):
+        c = RaplCounter()
+        c.accumulate(70_000.0)
+        assert c.read_joules() < 66_000.0
+
+
+class TestConfiguration:
+    def test_custom_unit(self):
+        c = RaplCounter(unit_joules=1.0)
+        c.accumulate(5.4)
+        assert c.read() == 5
+
+    def test_invalid_unit(self):
+        with pytest.raises(ValueError):
+            RaplCounter(unit_joules=0.0)

@@ -1,0 +1,96 @@
+"""Unit tests for power-trace recording."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.cpu import BROADWELL_D1548
+from repro.hardware.node import SimulatedNode
+from repro.hardware.trace import PowerTrace, TraceRecorder
+from repro.hardware.workload import WorkloadKind, compression_workload, write_workload
+
+
+@pytest.fixture
+def node():
+    return SimulatedNode(BROADWELL_D1548, power_noise=0.0, runtime_noise=0.0, seed=0)
+
+
+@pytest.fixture
+def stages():
+    return [
+        ("compress", compression_workload(WorkloadKind.COMPRESS_SZ, int(8e9), 1e-2), 1.75),
+        ("write", write_workload(int(2e9), 500e6), 1.7),
+    ]
+
+
+class TestTraceRecorder:
+    def test_stage_structure(self, node, stages):
+        trace = TraceRecorder(node, interval_s=1.0).record(stages)
+        assert trace.stages == ("compress", "write")
+        assert set(np.unique(trace.stage_ids)) == {0, 1}
+        # Stage order preserved in time.
+        first_write = np.argmax(trace.stage_ids == 1)
+        assert np.all(trace.stage_ids[:first_write] == 0)
+
+    def test_duration_matches_ground_truth(self, node, stages):
+        trace = TraceRecorder(node, interval_s=0.5).record(stages)
+        expected = sum(
+            node.true_runtime_s(wl, f) for _, wl, f in stages
+        )
+        assert trace.duration_s == pytest.approx(expected, rel=0.02)
+
+    def test_energy_matches_integral_of_truth(self, node, stages):
+        trace = TraceRecorder(node, interval_s=0.25).record(stages)
+        expected = sum(
+            node.true_runtime_s(wl, f) * node.true_power_w(wl, f)
+            for _, wl, f in stages
+        )
+        assert trace.energy_j() == pytest.approx(expected, rel=0.02)
+
+    def test_stage_energy_partitions_total(self, node, stages):
+        trace = TraceRecorder(node, interval_s=0.5).record(stages)
+        assert trace.stage_energy_j("compress") + trace.stage_energy_j(
+            "write"
+        ) == pytest.approx(trace.energy_j())
+
+    def test_mean_power_per_stage(self, node, stages):
+        trace = TraceRecorder(node, interval_s=0.5).record(stages)
+        _, wl_c, f_c = stages[0]
+        assert trace.mean_power_w("compress") == pytest.approx(
+            node.true_power_w(wl_c, f_c), rel=1e-6
+        )
+
+    def test_noise_appears_per_sample(self, stages):
+        noisy = SimulatedNode(BROADWELL_D1548, seed=1)
+        trace = TraceRecorder(noisy, interval_s=0.5).record(stages)
+        compress_power = trace.power_w[trace.stage_ids == 0]
+        assert np.std(compress_power) > 0
+
+    def test_unknown_stage_rejected(self, node, stages):
+        trace = TraceRecorder(node).record(stages)
+        with pytest.raises(KeyError):
+            trace.stage_energy_j("decompress")
+
+    def test_empty_stages_rejected(self, node):
+        with pytest.raises(ValueError):
+            TraceRecorder(node).record([])
+
+    def test_invalid_interval(self, node):
+        with pytest.raises(ValueError):
+            TraceRecorder(node, interval_s=0.0)
+
+    def test_short_stage_gets_one_sample(self, node):
+        tiny = compression_workload(WorkloadKind.COMPRESS_SZ, int(1e6), 1e-2)
+        trace = TraceRecorder(node, interval_s=10.0).record([("c", tiny, 2.0)])
+        assert trace.times_s.size == 1
+
+
+class TestPowerTraceValidation:
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError, match="share a shape"):
+            PowerTrace(
+                times_s=np.arange(3.0),
+                power_w=np.arange(2.0),
+                stage_ids=np.zeros(3, dtype=np.int64),
+                stages=("x",),
+                interval_s=1.0,
+            )

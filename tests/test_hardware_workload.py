@@ -1,0 +1,135 @@
+"""Unit tests for workload descriptors and the leading-loads runtime model."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.cpu import BROADWELL_D1548, SKYLAKE_4114
+from repro.hardware.workload import (
+    Workload,
+    WorkloadKind,
+    compression_workload,
+    error_bound_work_factor,
+    write_workload,
+)
+
+
+class TestWorkloadKind:
+    def test_compression_flags(self):
+        assert WorkloadKind.COMPRESS_SZ.is_compression
+        assert WorkloadKind.COMPRESS_ZFP.is_compression
+        assert not WorkloadKind.WRITE.is_compression
+
+
+class TestErrorBoundWorkFactor:
+    def test_baseline_at_coarse_bound(self):
+        assert error_bound_work_factor(1e-1) == pytest.approx(1.0)
+        assert error_bound_work_factor(1.0) == pytest.approx(1.0)
+
+    def test_grows_with_finer_bounds(self):
+        factors = [error_bound_work_factor(eb) for eb in (1e-1, 1e-2, 1e-3, 1e-4)]
+        assert factors == sorted(factors)
+        assert factors[-1] == pytest.approx(1.36)
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            error_bound_work_factor(0.0)
+
+
+class TestRuntimeModel:
+    def _wl(self, kind=WorkloadKind.COMPRESS_SZ):
+        return compression_workload(kind, int(1e9), 1e-2)
+
+    def test_runtime_at_base_clock_equals_reference_on_broadwell(self):
+        wl = self._wl()
+        assert wl.runtime_s(BROADWELL_D1548, 2.0) == pytest.approx(
+            wl.reference_runtime_s
+        )
+
+    def test_runtime_monotone_decreasing_in_frequency(self):
+        wl = self._wl()
+        freqs = BROADWELL_D1548.available_frequencies()
+        times = [wl.runtime_s(BROADWELL_D1548, f) for f in freqs]
+        assert times == sorted(times, reverse=True)
+
+    def test_paper_calibration_compression(self):
+        # Average of the two chips at 0.875 fmax should be ~ +7.5 %.
+        wl_sz = compression_workload(WorkloadKind.COMPRESS_SZ, int(1e9), 1e-2)
+        slow = []
+        for cpu in (BROADWELL_D1548, SKYLAKE_4114):
+            base = wl_sz.runtime_s(cpu, cpu.fmax_ghz)
+            tuned = wl_sz.runtime_s(cpu, cpu.snap_frequency(0.875 * cpu.fmax_ghz))
+            slow.append(tuned / base - 1.0)
+        assert np.mean(slow) == pytest.approx(0.075, abs=0.01)
+
+    def test_paper_calibration_write(self):
+        wl = write_workload(int(1e9), 500e6)
+        slow = []
+        for cpu in (BROADWELL_D1548, SKYLAKE_4114):
+            base = wl.runtime_s(cpu, cpu.fmax_ghz)
+            tuned = wl.runtime_s(cpu, cpu.snap_frequency(0.85 * cpu.fmax_ghz))
+            slow.append(tuned / base - 1.0)
+        assert np.mean(slow) == pytest.approx(0.093, abs=0.012)
+
+    def test_skylake_write_nearly_flat(self):
+        wl = write_workload(int(1e9), 500e6)
+        base = wl.runtime_s(SKYLAKE_4114, 2.2)
+        slowest = wl.runtime_s(SKYLAKE_4114, 0.8)
+        broadwell_slowest = wl.runtime_s(BROADWELL_D1548, 0.8) / wl.runtime_s(
+            BROADWELL_D1548, 2.0
+        )
+        assert slowest / base < broadwell_slowest  # Skylake stagnant vs Broadwell
+
+    def test_skylake_faster_at_base_clock(self):
+        wl = self._wl()
+        assert wl.runtime_s(SKYLAKE_4114, 2.2) < wl.runtime_s(BROADWELL_D1548, 2.0)
+
+
+class TestBuilders:
+    def test_compression_workload_scales_with_bytes(self):
+        small = compression_workload(WorkloadKind.COMPRESS_SZ, int(1e8), 1e-2)
+        large = compression_workload(WorkloadKind.COMPRESS_SZ, int(1e9), 1e-2)
+        assert large.reference_runtime_s == pytest.approx(
+            10 * small.reference_runtime_s
+        )
+
+    def test_zfp_slower_than_sz(self):
+        sz = compression_workload(WorkloadKind.COMPRESS_SZ, int(1e9), 1e-2)
+        zfp = compression_workload(WorkloadKind.COMPRESS_ZFP, int(1e9), 1e-2)
+        assert zfp.reference_runtime_s > sz.reference_runtime_s
+
+    def test_write_kind_rejected_for_compression_builder(self):
+        with pytest.raises(ValueError):
+            compression_workload(WorkloadKind.WRITE, 100, 1e-2)
+
+    def test_write_workload_runtime(self):
+        wl = write_workload(int(1e9), 500e6)
+        assert wl.reference_runtime_s == pytest.approx(2.0)
+
+    def test_dynamic_factor_deterministic(self):
+        a = compression_workload(WorkloadKind.COMPRESS_SZ, 100, 1e-3, name="x")
+        b = compression_workload(WorkloadKind.COMPRESS_SZ, 100, 1e-3, name="x")
+        assert a.dynamic_power_factor == b.dynamic_power_factor
+
+    def test_dynamic_factor_varies_by_name(self):
+        a = compression_workload(WorkloadKind.COMPRESS_SZ, 100, 1e-3, name="a")
+        b = compression_workload(WorkloadKind.COMPRESS_SZ, 100, 1e-3, name="b")
+        assert a.dynamic_power_factor != b.dynamic_power_factor
+
+    def test_dynamic_factor_within_spread(self):
+        for name in "abcdefgh":
+            wl = compression_workload(WorkloadKind.COMPRESS_SZ, 100, 1e-3, name=name)
+            assert 0.9 <= wl.dynamic_power_factor <= 1.1
+
+
+class TestValidation:
+    def test_zero_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(WorkloadKind.WRITE, "w", 0, 1.0)
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(WorkloadKind.WRITE, "w", 1, -1.0)
+
+    def test_compute_fraction_range(self):
+        with pytest.raises(ValueError):
+            Workload(WorkloadKind.WRITE, "w", 1, 1.0, compute_fraction=1.5)

@@ -1,0 +1,87 @@
+"""Unit tests for the compress-then-write dumper."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import SZCompressor, ZFPCompressor
+from repro.data import load_field
+from repro.hardware.cpu import BROADWELL_D1548
+from repro.hardware.node import SimulatedNode
+from repro.iosim.dumper import DataDumper
+
+
+@pytest.fixture(scope="module")
+def sample():
+    return load_field("nyx", "velocity_x", scale=32)
+
+
+@pytest.fixture
+def dumper():
+    node = SimulatedNode(BROADWELL_D1548, power_noise=0.0, runtime_noise=0.0, seed=0)
+    return DataDumper(node, repeats=1)
+
+
+class TestDump:
+    def test_report_structure(self, dumper, sample):
+        rep = dumper.dump(SZCompressor(), sample, 1e-2, int(100e9))
+        assert rep.compress.stage == "compress"
+        assert rep.write.stage == "write"
+        assert rep.compression_ratio > 1.0
+        assert rep.total_energy_j == pytest.approx(
+            rep.compress.energy_j + rep.write.energy_j
+        )
+        assert rep.total_runtime_s == pytest.approx(
+            rep.compress.runtime_s + rep.write.runtime_s
+        )
+
+    def test_write_bytes_reduced_by_ratio(self, dumper, sample):
+        rep = dumper.dump(SZCompressor(), sample, 1e-1, int(100e9))
+        assert rep.write.bytes_processed == pytest.approx(
+            100e9 / rep.compression_ratio, rel=0.01
+        )
+
+    def test_default_frequencies_are_base_clock(self, dumper, sample):
+        rep = dumper.dump(SZCompressor(), sample, 1e-2, int(10e9))
+        assert rep.compress.freq_ghz == 2.0
+        assert rep.write.freq_ghz == 2.0
+
+    def test_per_stage_frequencies_applied(self, dumper, sample):
+        rep = dumper.dump(
+            SZCompressor(), sample, 1e-2, int(10e9),
+            compress_freq_ghz=1.75, write_freq_ghz=1.7,
+        )
+        assert rep.compress.freq_ghz == pytest.approx(1.75)
+        assert rep.write.freq_ghz == pytest.approx(1.7)
+
+    def test_tuning_reduces_energy_noise_free(self, dumper, sample):
+        base = dumper.dump(SZCompressor(), sample, 1e-2, int(100e9))
+        tuned = dumper.dump(
+            SZCompressor(), sample, 1e-2, int(100e9),
+            compress_freq_ghz=1.75, write_freq_ghz=1.7,
+        )
+        assert tuned.total_energy_j < base.total_energy_j
+        assert tuned.total_runtime_s > base.total_runtime_s
+
+    def test_finer_bound_more_total_energy(self, dumper, sample):
+        coarse = dumper.dump(SZCompressor(), sample, 1e-1, int(100e9))
+        fine = dumper.dump(SZCompressor(), sample, 1e-4, int(100e9))
+        assert fine.total_energy_j > coarse.total_energy_j
+        assert fine.compression_ratio < coarse.compression_ratio
+
+    def test_zfp_supported(self, dumper, sample):
+        rep = dumper.dump(ZFPCompressor(), sample, 1e-2, int(10e9))
+        assert rep.compression_ratio > 1.0
+
+    def test_energy_scales_with_target(self, dumper, sample):
+        small = dumper.dump(SZCompressor(), sample, 1e-2, int(50e9))
+        large = dumper.dump(SZCompressor(), sample, 1e-2, int(200e9))
+        assert large.total_energy_j == pytest.approx(4 * small.total_energy_j, rel=0.01)
+
+    def test_invalid_target(self, dumper, sample):
+        with pytest.raises(ValueError):
+            dumper.dump(SZCompressor(), sample, 1e-2, 0)
+
+    def test_invalid_repeats(self):
+        node = SimulatedNode(BROADWELL_D1548)
+        with pytest.raises(ValueError):
+            DataDumper(node, repeats=0)

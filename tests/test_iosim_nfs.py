@@ -1,0 +1,67 @@
+"""Unit tests for the NFS model."""
+
+import pytest
+
+from repro.iosim.nfs import NfsTarget
+
+
+class TestBandwidth:
+    def test_default_is_paper_config(self):
+        nfs = NfsTarget()
+        assert nfs.network_gbps == 10.0
+        assert nfs.network_mbps == 1250.0
+
+    def test_cpu_copy_is_default_bottleneck(self):
+        nfs = NfsTarget()
+        bw = nfs.effective_bandwidth_bps()
+        assert bw < nfs.cpu_copy_mbps * 1e6
+        assert bw > 0.8 * nfs.cpu_copy_mbps * 1e6  # latency derate is mild
+
+    def test_slow_network_becomes_bottleneck(self):
+        nfs = NfsTarget(network_gbps=1.0)  # 125 MB/s link
+        assert nfs.effective_bandwidth_bps() < 125e6
+
+    def test_slow_disk_becomes_bottleneck(self):
+        nfs = NfsTarget(disk_mbps=50.0)
+        assert nfs.effective_bandwidth_bps() < 50e6
+
+    def test_latency_derates_bandwidth(self):
+        fast = NfsTarget(per_op_latency_ms=0.0)
+        slow = NfsTarget(per_op_latency_ms=5.0)
+        assert slow.effective_bandwidth_bps() < fast.effective_bandwidth_bps()
+
+    def test_larger_ops_amortize_latency(self):
+        small = NfsTarget(op_size_mb=0.1)
+        large = NfsTarget(op_size_mb=8.0)
+        assert large.effective_bandwidth_bps() > small.effective_bandwidth_bps()
+
+
+class TestWriteTime:
+    def test_linear_in_bytes(self):
+        nfs = NfsTarget()
+        assert nfs.write_time_s(int(2e9)) == pytest.approx(2 * nfs.write_time_s(int(1e9)))
+
+    def test_zero_bytes(self):
+        assert NfsTarget().write_time_s(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            NfsTarget().write_time_s(-1)
+
+    def test_16gb_write_takes_minutes_not_hours(self):
+        # Sanity on magnitude: 16 GB at ~650 MB/s ≈ 25 s.
+        t = NfsTarget().write_time_s(int(16e9))
+        assert 10 < t < 120
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"network_gbps": 0},
+        {"disk_mbps": -1},
+        {"cpu_copy_mbps": 0},
+        {"per_op_latency_ms": -0.1},
+        {"op_size_mb": 0},
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            NfsTarget(**kwargs)

@@ -1,0 +1,98 @@
+"""Unit tests for multi-field snapshot dumps."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import SZCompressor
+from repro.data import load_field
+from repro.hardware.cpu import SKYLAKE_4114
+from repro.hardware.node import SimulatedNode
+from repro.iosim.snapshot import (
+    SnapshotDumper,
+    SnapshotField,
+    SnapshotSpec,
+)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return SnapshotSpec(
+        fields=(
+            SnapshotField("density", load_field("nyx", "baryon_density", scale=32),
+                          error_bound=1e-4, target_bytes=int(64e9)),
+            SnapshotField("velocity", load_field("nyx", "velocity_x", scale=32),
+                          error_bound=1e-2, target_bytes=int(64e9)),
+            SnapshotField("temperature", load_field("nyx", "temperature", scale=32),
+                          error_bound=1e-3, target_bytes=int(32e9)),
+        )
+    )
+
+
+@pytest.fixture
+def dumper():
+    node = SimulatedNode(SKYLAKE_4114, power_noise=0.0, runtime_noise=0.0, seed=0)
+    return SnapshotDumper(node, repeats=1)
+
+
+class TestSnapshotSpec:
+    def test_total_bytes(self, spec):
+        assert spec.total_bytes == int(160e9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one field"):
+            SnapshotSpec(fields=())
+
+    def test_duplicate_names_rejected(self):
+        f = SnapshotField("x", np.ones(16, dtype=np.float32), 1e-2, 100)
+        with pytest.raises(ValueError, match="duplicate"):
+            SnapshotSpec(fields=(f, f))
+
+    def test_field_validation(self):
+        with pytest.raises(ValueError):
+            SnapshotField("x", np.ones(4, dtype=np.float32), 0.0, 100)
+
+
+class TestSnapshotDump:
+    def test_per_field_reports(self, dumper, spec):
+        rep = dumper.dump(SZCompressor(), spec)
+        assert set(rep.per_field) == {"density", "velocity", "temperature"}
+        assert set(rep.ratios) == set(rep.per_field)
+        assert rep.total_uncompressed == spec.total_bytes
+
+    def test_totals_are_sums(self, dumper, spec):
+        rep = dumper.dump(SZCompressor(), spec)
+        assert rep.total_energy_j == pytest.approx(
+            sum(s.energy_j for s in rep.per_field.values()) + rep.write.energy_j
+        )
+        assert rep.total_runtime_s == pytest.approx(
+            rep.compress_runtime_s + rep.write.runtime_s
+        )
+
+    def test_per_field_bounds_drive_ratios(self, dumper, spec):
+        rep = dumper.dump(SZCompressor(), spec)
+        # Coarser-bound velocity compresses better than finest-bound density.
+        assert rep.ratios["velocity"] > rep.ratios["density"]
+        assert 1.0 < rep.overall_ratio
+
+    def test_finer_bound_field_costs_more_per_byte(self, dumper, spec):
+        rep = dumper.dump(SZCompressor(), spec)
+        per_byte = {
+            name: s.energy_j / s.bytes_processed
+            for name, s in rep.per_field.items()
+        }
+        assert per_byte["density"] > per_byte["velocity"]
+
+    def test_tuning_saves_on_snapshots(self, dumper, spec):
+        base = dumper.dump(SZCompressor(), spec)
+        cpu = dumper.node.cpu
+        tuned = dumper.dump(
+            SZCompressor(), spec,
+            compress_freq_ghz=cpu.snap_frequency(0.875 * cpu.fmax_ghz),
+            write_freq_ghz=cpu.snap_frequency(0.85 * cpu.fmax_ghz),
+        )
+        assert tuned.total_energy_j < base.total_energy_j
+
+    def test_repeats_validation(self):
+        node = SimulatedNode(SKYLAKE_4114)
+        with pytest.raises(ValueError):
+            SnapshotDumper(node, repeats=0)

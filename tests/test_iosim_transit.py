@@ -1,0 +1,46 @@
+"""Unit tests for transit experiments."""
+
+import pytest
+
+from repro.hardware.cpu import BROADWELL_D1548
+from repro.hardware.node import SimulatedNode
+from repro.hardware.workload import WorkloadKind
+from repro.iosim.nfs import NfsTarget
+from repro.iosim.transit import DEFAULT_TRANSIT_SIZES_GB, TransitExperiment, transit_workload
+
+
+class TestTransitWorkload:
+    def test_kind_is_write(self):
+        wl = transit_workload(int(1e9), NfsTarget())
+        assert wl.kind is WorkloadKind.WRITE
+
+    def test_runtime_matches_nfs_model(self):
+        nfs = NfsTarget()
+        wl = transit_workload(int(4e9), nfs)
+        assert wl.reference_runtime_s == pytest.approx(nfs.write_time_s(int(4e9)))
+
+
+class TestTransitExperiment:
+    def test_paper_sizes(self):
+        assert DEFAULT_TRANSIT_SIZES_GB == (1.0, 2.0, 4.0, 8.0, 16.0)
+
+    def test_run_produces_all_points(self):
+        node = SimulatedNode(BROADWELL_D1548, seed=0)
+        exp = TransitExperiment(node, repeats=2)
+        samples = exp.run(sizes_gb=(1.0, 2.0), frequencies=[0.8, 1.4, 2.0])
+        assert len(samples) == 6
+        names = {s.workload for s in samples}
+        assert names == {"write@1GB", "write@2GB"}
+
+    def test_larger_size_longer_runtime(self):
+        node = SimulatedNode(BROADWELL_D1548, power_noise=0.0, runtime_noise=0.0)
+        exp = TransitExperiment(node, repeats=1)
+        samples = exp.run(sizes_gb=(1.0, 16.0), frequencies=[2.0])
+        t1 = next(s for s in samples if s.workload == "write@1GB").runtime_s
+        t16 = next(s for s in samples if s.workload == "write@16GB").runtime_s
+        assert t16 == pytest.approx(16 * t1, rel=1e-6)
+
+    def test_invalid_size_rejected(self):
+        node = SimulatedNode(BROADWELL_D1548)
+        with pytest.raises(ValueError):
+            TransitExperiment(node).run(sizes_gb=(0.0,), frequencies=[2.0])

@@ -1,0 +1,157 @@
+"""Cross-cutting property tests: system invariants under random inputs.
+
+Each class pins one invariant the whole stack relies on, exercised with
+hypothesis-generated configurations rather than hand-picked cases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.samples import SampleSet
+from repro.core.scaling import scale_to_reference
+from repro.hardware.cpu import BROADWELL_D1548, CASCADELAKE_6230, SKYLAKE_4114
+from repro.hardware.node import SimulatedNode
+from repro.hardware.powercurves import CalibratedPowerCurve, PhysicalPowerCurve
+from repro.hardware.workload import (
+    WorkloadKind,
+    compression_workload,
+    decompression_workload,
+    write_workload,
+)
+
+CPUS = (BROADWELL_D1548, SKYLAKE_4114, CASCADELAKE_6230)
+CURVES = (CalibratedPowerCurve(), PhysicalPowerCurve())
+
+cpu_st = st.sampled_from(CPUS)
+curve_st = st.sampled_from(CURVES)
+kind_st = st.sampled_from(list(WorkloadKind))
+freq_frac_st = st.floats(0.0, 1.0)
+
+
+def freq_of(cpu, frac):
+    return cpu.snap_frequency(cpu.fmin_ghz + frac * cpu.frequency_span)
+
+
+class TestPowerCurveInvariants:
+    @given(cpu_st, curve_st, kind_st, freq_frac_st, freq_frac_st)
+    @settings(max_examples=120, deadline=None)
+    def test_monotone_in_frequency(self, cpu, curve, kind, fa, fb):
+        f1, f2 = sorted((freq_of(cpu, fa), freq_of(cpu, fb)))
+        assert curve.power_watts(cpu, f1, kind) <= curve.power_watts(
+            cpu, f2, kind
+        ) + 1e-9
+
+    @given(cpu_st, curve_st, kind_st, freq_frac_st)
+    @settings(max_examples=80, deadline=None)
+    def test_static_below_total(self, cpu, curve, kind, frac):
+        f = freq_of(cpu, frac)
+        assert 0 < curve.static_watts(cpu, kind) <= curve.power_watts(cpu, f, kind)
+
+    @given(cpu_st, curve_st, kind_st, freq_frac_st, st.integers(1, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_multicore_monotone_in_cores(self, cpu, curve, kind, frac, n):
+        assume(n + 1 <= cpu.cores)
+        f = freq_of(cpu, frac)
+        p_n = curve.multicore_power_watts(cpu, f, kind, n)
+        p_n1 = curve.multicore_power_watts(cpu, f, kind, n + 1)
+        assert p_n <= p_n1 + 1e-9
+        assert p_n1 <= cpu.tdp_watts + 1e-9
+
+
+class TestRuntimeInvariants:
+    @given(cpu_st, freq_frac_st, freq_frac_st,
+           st.floats(1e-4, 1e-1), st.integers(20, 40))
+    @settings(max_examples=80, deadline=None)
+    def test_runtime_monotone_decreasing(self, cpu, fa, fb, eb, log2_bytes):
+        wl = compression_workload(WorkloadKind.COMPRESS_SZ, 1 << log2_bytes, eb)
+        f1, f2 = sorted((freq_of(cpu, fa), freq_of(cpu, fb)))
+        assert wl.runtime_s(cpu, f1) >= wl.runtime_s(cpu, f2) - 1e-12
+
+    @given(cpu_st, st.integers(20, 40), st.floats(1e-4, 1e-1))
+    @settings(max_examples=60, deadline=None)
+    def test_decompression_never_slower_than_compression(self, cpu, log2_bytes, eb):
+        nbytes = 1 << log2_bytes
+        comp = compression_workload(WorkloadKind.COMPRESS_SZ, nbytes, eb)
+        dec = decompression_workload(WorkloadKind.DECOMPRESS_SZ, nbytes, eb)
+        assert dec.runtime_s(cpu, cpu.fmax_ghz) <= comp.runtime_s(cpu, cpu.fmax_ghz)
+
+    @given(cpu_st, st.integers(1, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_amdahl_never_superlinear(self, cpu, cores):
+        assume(cores <= cpu.cores)
+        wl = compression_workload(WorkloadKind.COMPRESS_SZ, int(1e9), 1e-2)
+        t1 = wl.multicore_runtime_s(cpu, cpu.fmax_ghz, 1)
+        tn = wl.multicore_runtime_s(cpu, cpu.fmax_ghz, cores)
+        assert tn >= t1 / cores - 1e-12
+        assert tn <= t1 + 1e-12
+
+
+class TestMeasurementInvariants:
+    @given(st.integers(0, 1000), freq_frac_st)
+    @settings(max_examples=40, deadline=None)
+    def test_energy_power_runtime_identity(self, seed, frac):
+        node = SimulatedNode(BROADWELL_D1548, seed=seed)
+        node.set_frequency(freq_of(BROADWELL_D1548, frac))
+        wl = write_workload(int(1e9), 500e6)
+        m = node.run(wl)
+        assert m.energy_j == pytest.approx(m.power_w * m.runtime_s, rel=1e-6)
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_noise_bounded_by_clip(self, seed):
+        node = SimulatedNode(BROADWELL_D1548, seed=seed)
+        wl = write_workload(int(1e9), 500e6)
+        truth = node.true_power_w(wl)
+        m = node.run(wl)
+        # 4-sigma clip on 2.5 % noise → at most 10 % excursion.
+        assert abs(m.power_w / truth - 1.0) <= 0.1 + 1e-9
+
+
+class TestScalingInvariants:
+    @given(st.lists(
+        st.tuples(st.floats(0.8, 2.2), st.floats(1.0, 100.0)),
+        min_size=2, max_size=30, unique_by=lambda t: t[0],
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_scale_to_reference_pins_max_freq_to_one(self, pairs):
+        freqs = [p[0] for p in pairs]
+        values = [p[1] for p in pairs]
+        scaled, ref = scale_to_reference(freqs, values)
+        assert scaled[int(np.argmax(freqs))] == pytest.approx(1.0)
+        assert ref == values[int(np.argmax(freqs))]
+
+    @given(st.lists(st.floats(1.0, 100.0), min_size=2, max_size=20),
+           st.floats(0.1, 10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_scaling_invariant_to_units(self, values, unit):
+        freqs = list(np.linspace(0.8, 2.0, len(values)))
+        a, _ = scale_to_reference(freqs, values)
+        b, _ = scale_to_reference(freqs, [v * unit for v in values])
+        assert np.allclose(a, b)
+
+
+class TestSampleSetInvariants:
+    @given(st.lists(
+        st.fixed_dictionaries({"k": st.integers(0, 3), "v": st.floats(0, 100)}),
+        min_size=0, max_size=40,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_group_by_partitions(self, records):
+        s = SampleSet(records)
+        groups = s.group_by("k")
+        assert sum(len(g) for g in groups.values()) == len(s)
+        for (k,), group in groups.items():
+            assert all(r["k"] == k for r in group)
+
+    @given(st.lists(
+        st.fixed_dictionaries({"v": st.floats(-100, 100)}),
+        min_size=1, max_size=40,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_sort_is_stable_permutation(self, records):
+        s = SampleSet(records)
+        out = s.sort_by("v")
+        assert sorted(s.column("v").tolist()) == out.column("v").tolist()
+        assert len(out) == len(s)

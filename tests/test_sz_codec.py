@@ -1,0 +1,155 @@
+"""Unit + property tests for the SZ codec end to end."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compressors import SZCompressor
+from repro.compressors.base import CorruptStreamError
+from repro.data import load_field
+
+
+@pytest.fixture(scope="module")
+def sz():
+    return SZCompressor()
+
+
+class TestModes:
+    def test_constant_array(self, sz):
+        arr = np.full((16, 16), 3.25, dtype=np.float32)
+        buf, rec = sz.roundtrip(arr, 1e-3)
+        assert np.max(np.abs(rec - arr)) <= 1e-3
+        assert buf.nbytes < 200  # constant mode is tiny
+
+    def test_near_constant_array(self, sz):
+        arr = np.full(100, 1.0, dtype=np.float64)
+        arr[50] = 1.0 + 4e-4
+        buf, rec = sz.roundtrip(arr, 1e-3)
+        assert np.max(np.abs(rec - arr)) <= 1e-3
+
+    def test_raw_fallback_on_extreme_range(self, sz):
+        # Range/eb overflows the grid: must fall back losslessly.
+        arr = np.array([0.0, 1e300], dtype=np.float64)
+        buf, rec = sz.roundtrip(arr, 1e-10)
+        assert np.array_equal(rec, arr)
+
+    def test_raw_fallback_on_sub_ulp_bound(self, sz):
+        arr = np.array([1e6, 1e6 + 1, 1e6 + 2], dtype=np.float32)
+        buf, rec = sz.roundtrip(arr, 1e-5)
+        assert np.array_equal(rec, arr)
+
+    def test_grid_mode_used_for_normal_data(self, sz):
+        arr = np.random.default_rng(0).normal(size=2048).astype(np.float32)
+        buf = sz.compress(arr, 1e-2)
+        assert buf.ratio > 2.0  # actually compressed, not raw
+
+
+class TestErrorBounds:
+    @pytest.mark.parametrize("eb", [1e-1, 1e-2, 1e-3, 1e-4])
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_paper_bounds(self, sz, eb, dtype):
+        arr = load_field("nyx", "velocity_x", scale=32).astype(dtype)
+        buf, rec = sz.roundtrip(arr, eb)
+        err = np.max(np.abs(arr.astype(np.float64) - rec.astype(np.float64)))
+        assert err <= eb * (1 + 1e-9)
+
+    def test_finer_bound_lower_ratio(self, sz):
+        arr = load_field("cesm-atm", "T", scale=24)
+        ratios = [sz.compress(arr, eb).ratio for eb in (1e-1, 1e-2, 1e-3, 1e-4)]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_smooth_data_compresses_better(self, sz):
+        smooth = load_field("cesm-atm", "T", scale=24)
+        rough = np.random.default_rng(0).normal(size=smooth.shape).astype(np.float32)
+        eb = 1e-3
+        assert sz.compress(smooth, eb).ratio > sz.compress(rough, eb).ratio
+
+
+class TestShapes:
+    @pytest.mark.parametrize("shape", [(1,), (7,), (1000,), (3, 5), (16, 16),
+                                       (4, 5, 6), (3, 4, 5, 6)])
+    def test_arbitrary_shapes(self, sz, shape):
+        rng = np.random.default_rng(1)
+        arr = rng.normal(size=shape).astype(np.float32)
+        buf, rec = sz.roundtrip(arr, 1e-2)
+        assert rec.shape == shape
+        assert np.max(np.abs(arr - rec)) <= 1e-2
+
+    def test_single_element(self, sz):
+        arr = np.array([[3.7]], dtype=np.float64)
+        _, rec = sz.roundtrip(arr, 1e-3)
+        assert abs(rec[0, 0] - 3.7) <= 1e-3
+
+
+class TestSerialization:
+    def test_buffer_bytes_roundtrip(self, sz):
+        from repro.compressors.base import CompressedBuffer
+
+        arr = np.random.default_rng(2).normal(size=(32, 32)).astype(np.float32)
+        buf = sz.compress(arr, 1e-2)
+        restored = CompressedBuffer.from_bytes(buf.to_bytes())
+        rec = sz.decompress(restored)
+        assert np.max(np.abs(arr - rec)) <= 1e-2
+
+    def test_corrupt_payload_detected(self, sz):
+        arr = np.random.default_rng(3).normal(size=256).astype(np.float32)
+        buf = sz.compress(arr, 1e-2)
+        bad = buf.__class__(
+            codec=buf.codec,
+            payload=b"\x00" + buf.payload[1:],
+            shape=buf.shape,
+            dtype=buf.dtype,
+            error_bound=buf.error_bound,
+        )
+        with pytest.raises((CorruptStreamError, ValueError, EOFError)):
+            sz.decompress(bad)
+
+    def test_shape_mismatch_detected(self, sz):
+        arr = np.random.default_rng(4).normal(size=256).astype(np.float32)
+        buf = sz.compress(arr, 1e-2)
+        bad = buf.__class__(
+            codec=buf.codec,
+            payload=buf.payload,
+            shape=(128,),
+            dtype=buf.dtype,
+            error_bound=buf.error_bound,
+        )
+        with pytest.raises(CorruptStreamError, match="symbols"):
+            sz.decompress(bad)
+
+
+class TestConfiguration:
+    def test_invalid_alphabet(self):
+        with pytest.raises(ValueError):
+            SZCompressor(max_alphabet=1)
+
+    def test_invalid_zlib_level(self):
+        with pytest.raises(ValueError):
+            SZCompressor(zlib_level=10)
+
+    def test_small_alphabet_forces_escapes(self):
+        # With a tiny literal table most residuals escape — the codec
+        # must still honour the bound.
+        codec = SZCompressor(max_alphabet=4)
+        arr = np.random.default_rng(5).normal(size=4096).astype(np.float32)
+        buf, rec = codec.roundtrip(arr, 1e-3)
+        assert np.max(np.abs(arr - rec)) <= 1e-3
+
+
+class TestPropertyRoundTrip:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_bound_always_respected(self, data):
+        ndim = data.draw(st.integers(1, 3))
+        shape = tuple(data.draw(st.integers(1, 12)) for _ in range(ndim))
+        n = int(np.prod(shape))
+        values = data.draw(
+            st.lists(st.floats(-1e4, 1e4, width=32), min_size=n, max_size=n)
+        )
+        eb = data.draw(st.sampled_from([1e-1, 1e-2, 1e-3]))
+        arr = np.array(values, dtype=np.float32).reshape(shape)
+        sz = SZCompressor()
+        _, rec = sz.roundtrip(arr, eb)
+        err = np.max(np.abs(arr.astype(np.float64) - rec.astype(np.float64)))
+        assert err <= eb * (1 + 1e-9)

@@ -1,0 +1,71 @@
+"""Unit + property tests for the Lorenzo predictor on grid indices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors.sz.predictor import lorenzo_reconstruct, lorenzo_residual
+
+
+class TestLorenzo1D:
+    def test_residual_is_first_difference(self):
+        g = np.array([3, 5, 4, 4], dtype=np.int64)
+        assert lorenzo_residual(g).tolist() == [3, 2, -1, 0]
+
+    def test_roundtrip(self):
+        g = np.array([10, -3, 7, 0, 0, 2], dtype=np.int64)
+        assert np.array_equal(lorenzo_reconstruct(lorenzo_residual(g)), g)
+
+
+class TestLorenzo2D:
+    def test_residual_matches_manual_lorenzo(self):
+        g = np.arange(12, dtype=np.int64).reshape(3, 4)
+        d = lorenzo_residual(g)
+        # Manual: residual[i,j] = g[i,j] - g[i-1,j] - g[i,j-1] + g[i-1,j-1]
+        for i in range(3):
+            for j in range(4):
+                pred = 0
+                if i > 0:
+                    pred += g[i - 1, j]
+                if j > 0:
+                    pred += g[i, j - 1]
+                if i > 0 and j > 0:
+                    pred -= g[i - 1, j - 1]
+                assert d[i, j] == g[i, j] - pred
+
+    def test_smooth_field_small_residuals(self):
+        x = np.linspace(0, 1, 32)
+        g = (np.add.outer(x, x) * 1000).astype(np.int64)
+        d = lorenzo_residual(g)
+        # Interior residuals of a bilinear ramp are ~0/±1 (rounding).
+        assert np.abs(d[1:, 1:]).max() <= 1
+
+
+class TestLorenzoND:
+    @pytest.mark.parametrize("shape", [(17,), (5, 7), (3, 4, 5), (2, 3, 4, 5)])
+    def test_roundtrip_all_dims(self, shape):
+        rng = np.random.default_rng(0)
+        g = rng.integers(-(2**40), 2**40, size=shape)
+        assert np.array_equal(lorenzo_reconstruct(lorenzo_residual(g)), g)
+
+    def test_5d_rejected(self):
+        with pytest.raises(ValueError):
+            lorenzo_residual(np.zeros((2,) * 5, dtype=np.int64))
+        with pytest.raises(ValueError):
+            lorenzo_reconstruct(np.zeros((2,) * 5, dtype=np.int64))
+
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, data):
+        ndim = data.draw(st.integers(1, 3))
+        shape = tuple(data.draw(st.integers(1, 8)) for _ in range(ndim))
+        flat = data.draw(
+            st.lists(
+                st.integers(-(2**45), 2**45),
+                min_size=int(np.prod(shape)),
+                max_size=int(np.prod(shape)),
+            )
+        )
+        g = np.array(flat, dtype=np.int64).reshape(shape)
+        assert np.array_equal(lorenzo_reconstruct(lorenzo_residual(g)), g)

@@ -1,0 +1,150 @@
+"""Unit + property tests for repro.utils.bitio."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.bitio import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_empty_stream(self):
+        w = BitWriter()
+        assert len(w) == 0
+        assert w.getvalue() == b""
+
+    def test_single_bits_pack_msb_first(self):
+        w = BitWriter()
+        for b in (1, 0, 1, 0, 0, 0, 0, 0):
+            w.write_bit(b)
+        assert w.getvalue() == bytes([0b10100000])
+
+    def test_pads_to_byte_boundary(self):
+        w = BitWriter()
+        w.write_bit(1)
+        assert w.getvalue() == bytes([0b10000000])
+        assert len(w) == 1
+
+    def test_rejects_non_binary(self):
+        w = BitWriter()
+        with pytest.raises(ValueError, match="0 or 1"):
+            w.write_bits_array([0, 2])
+
+    def test_write_uint_roundtrip(self):
+        w = BitWriter()
+        w.write_uint(0xDEADBEEF, 32)
+        r = BitReader(w.getvalue())
+        assert r.read_uint(32) == 0xDEADBEEF
+
+    def test_write_uint_overflow(self):
+        w = BitWriter()
+        with pytest.raises(ValueError, match="fit"):
+            w.write_uint(256, 8)
+
+    def test_write_uint_negative(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_uint(-1, 8)
+
+    def test_write_uint_bad_width(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_uint(0, 0)
+
+    def test_write_uint_array_matches_scalar(self):
+        values = [0, 1, 255, 1000, 65535]
+        w1, w2 = BitWriter(), BitWriter()
+        w1.write_uint_array(values, 16)
+        for v in values:
+            w2.write_uint(v, 16)
+        assert w1.getvalue() == w2.getvalue()
+
+    def test_write_uint_array_overflow(self):
+        w = BitWriter()
+        with pytest.raises(ValueError, match="fit"):
+            w.write_uint_array([7, 8], 3)
+
+    def test_write_uint_array_64bit_max(self):
+        w = BitWriter()
+        w.write_uint_array([2**64 - 1], 64)
+        assert BitReader(w.getvalue()).read_uint(64) == 2**64 - 1
+
+
+class TestBitReader:
+    def test_read_past_end_raises(self):
+        w = BitWriter()
+        w.write_uint(3, 2)
+        r = BitReader(w.getvalue(), nbits=2)
+        r.read_bits_array(2)
+        with pytest.raises(EOFError):
+            r.read_bit()
+
+    def test_nbits_limits_stream(self):
+        r = BitReader(b"\xff", nbits=3)
+        assert len(r) == 3
+        assert r.remaining == 3
+
+    def test_nbits_exceeding_data_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            BitReader(b"\xff", nbits=9)
+
+    def test_read_uint_array_matches_scalars(self):
+        w = BitWriter()
+        w.write_uint_array([5, 10, 1023], 10)
+        r1 = BitReader(w.getvalue())
+        r2 = BitReader(w.getvalue())
+        arr = r1.read_uint_array(3, 10)
+        singles = [r2.read_uint(10) for _ in range(3)]
+        assert arr.tolist() == singles
+
+    def test_negative_read_rejected(self):
+        r = BitReader(b"\x00")
+        with pytest.raises(ValueError):
+            r.read_bits_array(-1)
+
+    def test_remaining_tracks_position(self):
+        r = BitReader(b"\x00\x00")
+        r.read_bits_array(5)
+        assert r.remaining == 11
+
+
+class TestRoundTripProperties:
+    @given(st.lists(st.integers(0, 1), min_size=0, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_bits_roundtrip(self, bits):
+        w = BitWriter()
+        w.write_bits_array(bits)
+        r = BitReader(w.getvalue(), nbits=len(bits))
+        assert r.read_bits_array(len(bits)).tolist() == bits
+
+    @given(
+        st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=50),
+        st.integers(32, 64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_uint_array_roundtrip(self, values, nbits):
+        w = BitWriter()
+        w.write_uint_array(values, nbits)
+        r = BitReader(w.getvalue())
+        assert r.read_uint_array(len(values), nbits).tolist() == values
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_mixed_stream_roundtrip(self, data):
+        ops = data.draw(
+            st.lists(
+                st.tuples(st.integers(1, 24), st.integers(0, 2**24 - 1)),
+                min_size=1,
+                max_size=20,
+            )
+        )
+        w = BitWriter()
+        expect = []
+        for nbits, value in ops:
+            value &= (1 << nbits) - 1
+            w.write_uint(value, nbits)
+            expect.append((nbits, value))
+        r = BitReader(w.getvalue())
+        for nbits, value in expect:
+            assert r.read_uint(nbits) == value

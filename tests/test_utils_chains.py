@@ -1,0 +1,84 @@
+"""Unit + property tests for the pointer-doubling chain extractor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.chains import follow_chain
+
+
+def naive_chain(jumps, start, count):
+    out, pos = [], start
+    for _ in range(count):
+        out.append(pos)
+        pos = jumps[pos] if pos < len(jumps) else len(jumps)
+    return out
+
+
+class TestFollowChain:
+    def test_empty_count(self):
+        assert follow_chain(np.array([1, 2, 3]), 0, 0).size == 0
+
+    def test_unit_steps(self):
+        jumps = np.arange(1, 11)
+        assert follow_chain(jumps, 0, 10).tolist() == list(range(10))
+
+    def test_variable_steps(self):
+        jumps = np.array([2, 99, 3, 7, 99, 99, 99, 8])
+        assert follow_chain(jumps, 0, 4).tolist() == [0, 2, 3, 7]
+
+    def test_start_offset(self):
+        jumps = np.arange(1, 11)
+        assert follow_chain(jumps, 4, 3).tolist() == [4, 5, 6]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            follow_chain(np.array([1]), 0, -1)
+
+    def test_start_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            follow_chain(np.array([1, 2]), 5, 1)
+
+    def test_chain_escaping_raises(self):
+        # Position 1 jumps past the end; asking for 3 entries must fail.
+        jumps = np.array([1, 50, 3])
+        with pytest.raises(ValueError, match="corrupt"):
+            follow_chain(jumps, 0, 3)
+
+    def test_negative_jump_treated_as_corrupt(self):
+        jumps = np.array([1, -5, 3])
+        with pytest.raises(ValueError, match="corrupt"):
+            follow_chain(jumps, 0, 3)
+
+    def test_count_power_of_two_boundaries(self):
+        # Exercises the doubling rounds at exact powers of two.
+        n = 64
+        jumps = np.arange(1, n + 1)
+        for count in (1, 2, 3, 4, 7, 8, 9, 31, 32, 33, 64):
+            assert follow_chain(jumps, 0, count).tolist() == list(range(count))
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_walk(self, data):
+        n = data.draw(st.integers(2, 200))
+        steps = data.draw(
+            st.lists(st.integers(1, 5), min_size=n, max_size=n)
+        )
+        jumps = np.arange(n) + np.array(steps)
+        jumps = np.minimum(jumps, n)
+        start = data.draw(st.integers(0, n - 1))
+        # Longest valid chain from start:
+        max_count = len(naive_chain_until_end(jumps.tolist(), start, n))
+        count = data.draw(st.integers(1, max_count))
+        assert follow_chain(jumps, start, count).tolist() == naive_chain(
+            jumps.tolist(), start, count
+        )
+
+
+def naive_chain_until_end(jumps, start, n):
+    out, pos = [], start
+    while pos < n:
+        out.append(pos)
+        pos = jumps[pos]
+    return out

@@ -1,0 +1,140 @@
+"""Unit + property tests for repro.utils.stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.stats import (
+    ConfidenceBand,
+    confidence_band,
+    goodness_of_fit,
+    mean_confidence_interval,
+    r_squared,
+    rmse,
+    sse,
+)
+
+
+class TestSse:
+    def test_zero_for_exact_fit(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert sse(y, y) == 0.0
+
+    def test_known_value(self):
+        assert sse([0, 0], [1, 2]) == pytest.approx(5.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            sse([1, 2], [1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            sse([], [])
+
+
+class TestRmse:
+    def test_known_value(self):
+        assert rmse([0, 0], [3, 4]) == pytest.approx(np.sqrt(12.5))
+
+    def test_relationship_to_sse(self):
+        rng = np.random.default_rng(0)
+        y, p = rng.normal(size=20), rng.normal(size=20)
+        assert rmse(y, p) == pytest.approx(np.sqrt(sse(y, p) / 20))
+
+
+class TestRSquared:
+    def test_perfect_fit_is_one(self):
+        y = np.arange(10.0)
+        assert r_squared(y, y) == 1.0
+
+    def test_mean_predictor_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert r_squared(y, np.full(4, y.mean())) == pytest.approx(0.0)
+
+    def test_constant_observed_exact(self):
+        assert r_squared([2, 2, 2], [2, 2, 2]) == 1.0
+
+    def test_constant_observed_inexact(self):
+        assert r_squared([2, 2, 2], [2, 2, 3]) == 0.0
+
+    def test_can_be_negative_for_bad_model(self):
+        assert r_squared([1, 2, 3], [10, -10, 10]) < 0
+
+
+class TestGoodnessOfFit:
+    def test_bundle_consistency(self):
+        rng = np.random.default_rng(1)
+        y, p = rng.normal(size=30), rng.normal(size=30)
+        g = goodness_of_fit(y, p)
+        assert g.sse == pytest.approx(sse(y, p))
+        assert g.rmse == pytest.approx(rmse(y, p))
+        assert g.r2 == pytest.approx(r_squared(y, p))
+        assert "SSE=" in g.as_row()
+
+
+class TestMeanConfidenceInterval:
+    def test_single_sample_zero_width(self):
+        mean, half = mean_confidence_interval([5.0])
+        assert mean == 5.0 and half == 0.0
+
+    def test_mean_is_sample_mean(self):
+        mean, _ = mean_confidence_interval([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+
+    def test_width_shrinks_with_more_samples(self):
+        rng = np.random.default_rng(2)
+        small = rng.normal(size=5)
+        big = np.concatenate([small] * 20)
+        _, h_small = mean_confidence_interval(small)
+        _, h_big = mean_confidence_interval(big)
+        assert h_big < h_small
+
+    def test_higher_confidence_wider(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        _, h90 = mean_confidence_interval(data, 0.90)
+        _, h99 = mean_confidence_interval(data, 0.99)
+        assert h99 > h90
+
+    @pytest.mark.parametrize("conf", [0.0, 1.0, -0.5, 2.0])
+    def test_invalid_confidence(self, conf):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1, 2], conf)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_mean_always_inside_interval(self, data):
+        mean, half = mean_confidence_interval(data)
+        assert mean - half <= np.mean(data) <= mean + half
+
+
+class TestConfidenceBand:
+    def test_band_bounds(self):
+        band = ConfidenceBand(
+            x=np.array([1.0, 2.0]),
+            mean=np.array([10.0, 20.0]),
+            half_width=np.array([1.0, 2.0]),
+        )
+        assert np.allclose(band.lower, [9.0, 18.0])
+        assert np.allclose(band.upper, [11.0, 22.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="share a shape"):
+            ConfidenceBand(x=np.arange(3), mean=np.arange(2), half_width=np.arange(3))
+
+    def test_confidence_band_from_groups(self):
+        x = [1.0, 2.0, 3.0]
+        groups = [[1, 1, 1], [2, 3], [5]]
+        band = confidence_band(x, groups)
+        assert band.mean == pytest.approx([1.0, 2.5, 5.0])
+        assert band.half_width[0] == 0.0
+        assert band.half_width[2] == 0.0
+        assert band.half_width[1] > 0.0
+
+    def test_group_count_mismatch(self):
+        with pytest.raises(ValueError, match="one sample vector"):
+            confidence_band([1.0, 2.0], [[1.0]])

@@ -1,0 +1,110 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    as_float_array,
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_shape_dims,
+)
+
+
+class TestCheckFinite:
+    def test_accepts_scalars_and_arrays(self):
+        check_finite(1.0)
+        check_finite(np.arange(5))
+        check_finite([[1.0, 2.0], [3.0, 4.0]])
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_rejects_nonfinite_scalar(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            check_finite(bad)
+
+    def test_rejects_nan_inside_array(self):
+        arr = np.ones(10)
+        arr[7] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            check_finite(arr, "field")
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ValueError, match="my_param"):
+            check_finite(np.inf, "my_param")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(TypeError, match="numeric"):
+            check_finite(np.array(["a", "b"]))
+
+
+class TestCheckPositive:
+    @pytest.mark.parametrize("ok", [1e-300, 0.5, 1, 1e300])
+    def test_accepts_positive(self, ok):
+        check_positive(ok)
+
+    @pytest.mark.parametrize("bad", [0, -1, -1e-9, float("nan"), float("inf")])
+    def test_rejects_nonpositive_and_nonfinite(self, bad):
+        with pytest.raises(ValueError):
+            check_positive(bad)
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        check_nonnegative(0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative(-0.001)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_nonnegative(float("nan"))
+
+
+class TestCheckInRange:
+    def test_inclusive_endpoints_ok(self):
+        check_in_range(0.0, 0.0, 1.0)
+        check_in_range(1.0, 0.0, 1.0)
+
+    def test_exclusive_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            check_in_range(0.0, 0.0, 1.0, inclusive=False)
+        with pytest.raises(ValueError):
+            check_in_range(1.0, 0.0, 1.0, inclusive=False)
+
+    def test_outside_rejected(self):
+        with pytest.raises(ValueError, match="x"):
+            check_in_range(1.5, 0.0, 1.0, name="x")
+
+
+class TestCheckShapeDims:
+    def test_returns_int_tuple(self):
+        assert check_shape_dims([np.int64(3), 4]) == (3, 4)
+
+    def test_restricts_ndim(self):
+        with pytest.raises(ValueError, match="dimensionality"):
+            check_shape_dims((2, 2, 2), allowed_ndims=(1, 2))
+
+    def test_rejects_nonpositive_extent(self):
+        with pytest.raises(ValueError, match="positive"):
+            check_shape_dims((3, 0))
+
+
+class TestAsFloatArray:
+    def test_preserves_float32(self):
+        arr = np.ones(4, dtype=np.float32)
+        assert as_float_array(arr).dtype == np.float32
+
+    def test_promotes_int_to_float64(self):
+        assert as_float_array([1, 2, 3]).dtype == np.float64
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            as_float_array(np.empty(0))
+
+    def test_contiguous_output(self):
+        arr = np.ones((8, 8), dtype=np.float64)[:, ::2]
+        out = as_float_array(arr)
+        assert out.flags["C_CONTIGUOUS"]

@@ -1,0 +1,96 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.workflow.asciiplot import ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        x = np.linspace(0, 1, 20)
+        out = ascii_chart(x, {"up": x, "down": 1 - x}, title="T")
+        lines = out.split("\n")
+        assert lines[0] == "T"
+        assert "*=up" in lines[-1] and "o=down" in lines[-1]
+
+    def test_dimensions(self):
+        x = np.linspace(0, 1, 10)
+        out = ascii_chart(x, {"y": x**2}, width=40, height=8)
+        body = [l for l in out.split("\n") if "|" in l]
+        assert len(body) == 8
+        assert all(len(l.split("|", 1)[1]) == 40 for l in body)
+
+    def test_y_ticks_on_extremes(self):
+        x = np.array([0.0, 1.0])
+        out = ascii_chart(x, {"y": np.array([2.0, 8.0])}, height=6)
+        assert "8" in out.split("\n")[0]
+        assert "2" in out
+
+    def test_x_axis_labels(self):
+        x = np.array([0.8, 2.2])
+        out = ascii_chart(x, {"y": x})
+        assert "0.8" in out and "2.2" in out
+
+    def test_increasing_series_marks_rise(self):
+        x = np.linspace(0, 1, 30)
+        out = ascii_chart(x, {"y": x}, width=30, height=10)
+        body = [l.split("|", 1)[1] for l in out.split("\n") if "|" in l]
+        first_mark_row = next(i for i, l in enumerate(body) if "*" in l)
+        last_mark_col_row = next(
+            i for i, l in enumerate(body) if l.rstrip().endswith("*")
+        )
+        # The series ends (right edge) higher than where it starts.
+        assert last_mark_col_row <= first_mark_row
+
+    def test_constant_series_handled(self):
+        x = np.linspace(0, 1, 5)
+        out = ascii_chart(x, {"y": np.ones(5)})
+        assert "*" in out
+
+    def test_line_connects_gaps(self):
+        # Two points far apart must still draw an unbroken path.
+        x = np.array([0.0, 1.0])
+        out = ascii_chart(x, {"y": np.array([0.0, 1.0])}, width=20, height=10)
+        marks = sum(l.count("*") for l in out.split("\n"))
+        assert marks >= 10
+
+    @pytest.mark.parametrize("kwargs,match", [
+        ({"width": 8}, "at least"),
+        ({"height": 2}, "at least"),
+    ])
+    def test_size_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            ascii_chart([0, 1], {"y": [0, 1]}, **kwargs)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError, match="at least one series"):
+            ascii_chart([0, 1], {})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            ascii_chart([0, 1], {"y": [1, 2, 3]})
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            ascii_chart([0], {"y": [1]})
+
+
+class TestSweepIntegration:
+    def test_renders_real_characteristic(self):
+        from repro.core.scaling import add_scaled_columns
+        from repro.workflow.sweep import SweepConfig, compression_sweep, default_nodes
+
+        cfg = SweepConfig(
+            compressors=("sz",), datasets=(("nyx", "velocity_x"),),
+            error_bounds=(1e-2,), repeats=2, data_scale=32,
+            frequency_stride=4, measure_ratios=False,
+        )
+        samples = add_scaled_columns(compression_sweep(default_nodes()[:1], cfg))
+        ordered = samples.sort_by("freq_ghz")
+        out = ascii_chart(
+            ordered.column("freq_ghz"),
+            {"scaled_power": ordered.column("scaled_power_w")},
+            title="Fig. 1 (ascii)",
+        )
+        assert "Fig. 1" in out and "*" in out

@@ -1,0 +1,78 @@
+"""Unit tests for the checkpoint-campaign simulation."""
+
+import pytest
+
+from repro.compressors import SZCompressor
+from repro.data import load_field
+from repro.hardware.cpu import SKYLAKE_4114
+from repro.hardware.node import SimulatedNode
+from repro.workflow.campaign import CampaignReport, CheckpointCampaign, run_campaign
+
+
+@pytest.fixture(scope="module")
+def sample():
+    return load_field("nyx", "velocity_x", scale=32)
+
+
+@pytest.fixture
+def node():
+    return SimulatedNode(SKYLAKE_4114, power_noise=0.0, runtime_noise=0.0, seed=0)
+
+
+CAMPAIGN = CheckpointCampaign(
+    snapshot_bytes=int(32e9), n_snapshots=4, compute_interval_s=1800.0
+)
+
+
+class TestCampaignConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"snapshot_bytes": 0, "n_snapshots": 1, "compute_interval_s": 1.0},
+        {"snapshot_bytes": 1, "n_snapshots": 0, "compute_interval_s": 1.0},
+        {"snapshot_bytes": 1, "n_snapshots": 1, "compute_interval_s": -1.0},
+        {"snapshot_bytes": 1, "n_snapshots": 1, "compute_interval_s": 1.0,
+         "compute_power_w": 0.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            CheckpointCampaign(**kwargs)
+
+
+class TestRunCampaign:
+    def test_totals(self, node, sample):
+        rep = run_campaign(node, SZCompressor(), sample, 1e-2, CAMPAIGN, repeats=1)
+        assert len(rep.snapshots) == 4
+        assert rep.compute_time_s == pytest.approx(4 * 1800.0)
+        assert rep.compute_energy_j == pytest.approx(4 * 1800.0 * 38.0)
+        assert rep.total_energy_j == pytest.approx(
+            rep.io_energy_j + rep.compute_energy_j
+        )
+        assert 0 < rep.io_time_fraction < 1
+
+    def test_io_fraction_small_for_long_compute(self, node, sample):
+        # The paper's premise: I/O is a small share of the campaign, so
+        # the tuned runtime penalty is diluted.
+        long_compute = CheckpointCampaign(
+            snapshot_bytes=int(32e9), n_snapshots=2, compute_interval_s=36000.0
+        )
+        rep = run_campaign(node, SZCompressor(), sample, 1e-2, long_compute,
+                           repeats=1)
+        assert rep.io_time_fraction < 0.02
+
+    def test_tuning_saves_io_energy_with_tiny_wall_penalty(self, node, sample):
+        base = run_campaign(node, SZCompressor(), sample, 1e-2, CAMPAIGN, repeats=1)
+        tuned = run_campaign(
+            node, SZCompressor(), sample, 1e-2, CAMPAIGN,
+            compress_freq_ghz=1.925, write_freq_ghz=1.85, repeats=1,
+        )
+        assert tuned.io_energy_j < base.io_energy_j
+        wall_penalty = tuned.total_wall_s / base.total_wall_s - 1.0
+        io_saving = 1.0 - tuned.io_energy_j / base.io_energy_j
+        assert io_saving > 0.10
+        assert wall_penalty < 0.02  # diluted by the compute phases
+
+    def test_io_energy_scales_with_snapshots(self, node, sample):
+        two = CheckpointCampaign(int(32e9), 2, 100.0)
+        six = CheckpointCampaign(int(32e9), 6, 100.0)
+        r2 = run_campaign(node, SZCompressor(), sample, 1e-2, two, repeats=1)
+        r6 = run_campaign(node, SZCompressor(), sample, 1e-2, six, repeats=1)
+        assert r6.io_energy_j == pytest.approx(3 * r2.io_energy_j, rel=0.01)

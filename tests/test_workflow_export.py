@@ -1,0 +1,74 @@
+"""Tests for campaign artifact export."""
+
+import json
+
+import pytest
+
+from repro.core.persistence import ModelBundle
+from repro.core.pipeline import TunedIOPipeline
+from repro.core.tuning import PAPER_POLICY
+from repro.workflow.export import EXPORT_FILES, export_campaign
+from repro.workflow.sweep import SweepConfig, default_nodes
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    cfg = SweepConfig(
+        datasets=(("nyx", "velocity_x"),),
+        error_bounds=(1e-2,),
+        transit_sizes_gb=(1.0,),
+        repeats=2,
+        data_scale=32,
+        frequency_stride=5,
+        measure_ratios=False,
+    )
+    pipe = TunedIOPipeline(default_nodes())
+    return pipe.recommend(pipe.characterize(cfg), PAPER_POLICY)
+
+
+class TestExportCampaign:
+    def test_all_artifacts_written(self, outcome, tmp_path):
+        paths = export_campaign(outcome, tmp_path, {"seed": 0})
+        assert set(paths) == set(EXPORT_FILES)
+        for p in paths.values():
+            assert len(open(p, "rb").read()) > 0
+
+    def test_models_reloadable(self, outcome, tmp_path):
+        export_campaign(outcome, tmp_path)
+        bundle = ModelBundle.load(tmp_path / "models.json")
+        assert set(bundle.compression_power) == set(outcome.compression_models)
+
+    def test_csv_headers(self, outcome, tmp_path):
+        export_campaign(outcome, tmp_path)
+        header = (tmp_path / "compression_sweep.csv").read_text().splitlines()[0]
+        assert "freq_ghz" in header and "power_w" in header
+        assert "power_samples" not in header  # vectors dropped
+
+    def test_manifest_counts(self, outcome, tmp_path):
+        export_campaign(outcome, tmp_path, {"note": "test"})
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["n_compression_samples"] == len(outcome.compression_samples)
+        assert manifest["config"] == {"note": "test"}
+
+    def test_tables_include_recommendations(self, outcome, tmp_path):
+        export_campaign(outcome, tmp_path)
+        text = (tmp_path / "tables.txt").read_text()
+        assert "TABLE IV" in text and "TABLE V" in text
+        assert "Tuning recommendations" in text
+
+    def test_idempotent(self, outcome, tmp_path):
+        first = export_campaign(outcome, tmp_path)
+        second = export_campaign(outcome, tmp_path)
+        assert first == second
+        assert (tmp_path / "models.json").read_text()  # still valid
+
+    def test_exported_models_drive_tuning_service(self, outcome, tmp_path):
+        # The archive round trip a site would actually perform:
+        # characterize → export → (later) serve decisions from disk.
+        from repro.core.service import TuningService
+
+        export_campaign(outcome, tmp_path)
+        svc = TuningService.from_file(tmp_path / "models.json")
+        decision = svc.decide("broadwell", "compress")
+        assert 0.8 <= decision.freq_ghz <= 2.0
+        assert decision.predicted_energy_saving >= 0

@@ -1,0 +1,87 @@
+"""Unit tests for result export and text rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.samples import SampleSet
+from repro.workflow.report import format_value, render_series, render_table
+from repro.workflow.results import rows_to_csv, sampleset_to_rows
+
+
+class TestSamplesetToRows:
+    def test_drops_vector_fields(self):
+        s = SampleSet([{"a": 1, "power_samples": (1, 2), "runtime_samples": (3, 4)}])
+        rows = sampleset_to_rows(s)
+        assert rows == [{"a": 1}]
+
+    def test_explicit_fields(self):
+        s = SampleSet([{"a": 1, "b": 2, "c": 3}])
+        assert sampleset_to_rows(s, fields=("b", "a")) == [{"b": 2, "a": 1}]
+
+    def test_missing_requested_field(self):
+        s = SampleSet([{"a": 1}])
+        with pytest.raises(KeyError, match="missing requested"):
+            sampleset_to_rows(s, fields=("z",))
+
+
+class TestRowsToCsv:
+    def test_basic(self):
+        text = rows_to_csv([{"x": 1, "y": 2.5}, {"x": 3, "y": 4.0}])
+        lines = text.strip().split("\n")
+        assert lines[0] == "x,y"
+        assert lines[1] == "1,2.5"
+
+    def test_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_quotes_special_chars(self):
+        text = rows_to_csv([{"name": 'a,"b"', "v": 1}])
+        assert '"a,""b"""' in text
+
+    def test_inconsistent_rows_rejected(self):
+        with pytest.raises(ValueError, match="not in the header"):
+            rows_to_csv([{"a": 1}, {"a": 1, "b": 2}])
+
+
+class TestRenderTable:
+    def test_header_and_rows(self):
+        text = render_table([{"model": "Total", "rmse": 0.0442}], title="T")
+        lines = text.split("\n")
+        assert lines[0] == "T"
+        assert "model" in lines[1] and "rmse" in lines[1]
+        assert "Total" in lines[3]
+
+    def test_empty(self):
+        assert "(empty)" in render_table([], title="x")
+
+    def test_alignment(self):
+        text = render_table([{"a": "xx", "b": 1}, {"a": "y", "b": 22}])
+        lines = text.split("\n")
+        assert len(lines[1]) == len(lines[2])  # separator matches header
+
+
+class TestRenderSeries:
+    def test_subsampling(self):
+        x = np.linspace(0, 1, 100)
+        text = render_series(x, {"y": x**2}, max_points=5)
+        rows = text.strip().split("\n")[2:]
+        assert len(rows) <= 6
+
+    def test_short_series_kept_whole(self):
+        text = render_series([1, 2, 3], {"y": [4, 5, 6]})
+        assert text.count("\n") == 4  # header + sep + 3 rows
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            render_series([1, 2], {"y": [1, 2, 3]})
+
+
+class TestFormatValue:
+    def test_floats_four_sig_figs(self):
+        assert format_value(0.044231) == "0.04423"
+
+    def test_integral_floats(self):
+        assert format_value(2.0) == "2"
+
+    def test_strings_passthrough(self):
+        assert format_value("abc") == "abc"

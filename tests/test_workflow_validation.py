@@ -1,0 +1,62 @@
+"""Tests for leave-one-dataset-out cross-validation."""
+
+import math
+
+import pytest
+
+from repro.core.scaling import add_scaled_columns
+from repro.workflow.sweep import SweepConfig, compression_sweep, default_nodes
+from repro.workflow.validation import leave_one_dataset_out, loocv_rows
+
+
+@pytest.fixture(scope="module")
+def samples():
+    cfg = SweepConfig(
+        datasets=(("nyx", "velocity_x"), ("cesm-atm", "T"), ("hacc", "x")),
+        error_bounds=(1e-1, 1e-3),
+        repeats=3,
+        data_scale=32,
+        frequency_stride=3,
+        measure_ratios=False,
+    )
+    return add_scaled_columns(compression_sweep(default_nodes(), cfg))
+
+
+class TestLeaveOneDatasetOut:
+    def test_full_matrix(self, samples):
+        results = leave_one_dataset_out(samples)
+        partitions = {k[0] for k in results}
+        datasets = {k[1] for k in results}
+        assert partitions == {"Total", "SZ", "ZFP", "Broadwell", "Skylake"}
+        assert datasets == {"nyx", "cesm-atm", "hacc"}
+
+    def test_per_arch_generalizes_best(self, samples):
+        # The sharper form of the paper's conclusion: the architecture
+        # models beat the pooled model on data they never saw.
+        results = leave_one_dataset_out(samples)
+        for ds in ("nyx", "cesm-atm", "hacc"):
+            arch_best = min(results[("Broadwell", ds)], results[("Skylake", ds)])
+            assert arch_best < results[("Total", ds)]
+
+    def test_rmse_values_reasonable(self, samples):
+        results = leave_one_dataset_out(samples)
+        for rmse in results.values():
+            assert 0.0 <= rmse < 0.2
+
+    def test_single_dataset_rejected(self, samples):
+        only_nyx = samples.filter(dataset="nyx")
+        with pytest.raises(ValueError, match=">= 2 datasets"):
+            leave_one_dataset_out(only_nyx)
+
+
+class TestRows:
+    def test_pivot_shape(self, samples):
+        rows = loocv_rows(leave_one_dataset_out(samples))
+        assert len(rows) == 5
+        for row in rows:
+            assert set(row) == {
+                "model", "rmse_wo_nyx", "rmse_wo_cesm-atm", "rmse_wo_hacc"
+            }
+            for k, v in row.items():
+                if k != "model":
+                    assert not math.isnan(v)

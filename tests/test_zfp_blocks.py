@@ -1,0 +1,79 @@
+"""Unit + property tests for ZFP block partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors.zfp.blocks import BlockGrid, partition, unpartition
+
+
+class TestPartition:
+    def test_exact_multiple_2d(self):
+        arr = np.arange(64, dtype=np.float64).reshape(8, 8)
+        blocks, grid = partition(arr)
+        assert blocks.shape == (4, 16)
+        assert grid.nblocks == 4
+        assert grid.block_size == 16
+        # First block is the top-left 4x4 tile in C order.
+        assert np.array_equal(blocks[0], arr[:4, :4].ravel())
+
+    def test_padding_replicates_edges(self):
+        arr = np.arange(10, dtype=np.float64)
+        blocks, grid = partition(arr)
+        assert grid.padded_shape == (12,)
+        # Last block's tail repeats the final value.
+        assert blocks[-1].tolist() == [8.0, 9.0, 9.0, 9.0]
+
+    def test_padding_preserves_value_range(self):
+        rng = np.random.default_rng(0)
+        arr = rng.normal(size=(5, 7, 9))
+        blocks, _ = partition(arr)
+        assert blocks.max() == arr.max()
+        assert blocks.min() == arr.min()
+
+    @pytest.mark.parametrize("shape", [(4,), (5,), (4, 4), (5, 6), (4, 4, 4),
+                                       (3, 5, 7), (2, 3, 4, 5)])
+    def test_roundtrip_shapes(self, shape):
+        rng = np.random.default_rng(1)
+        arr = rng.normal(size=shape)
+        blocks, grid = partition(arr)
+        assert np.array_equal(unpartition(blocks, grid), arr)
+
+    def test_5d_rejected(self):
+        with pytest.raises(ValueError):
+            partition(np.zeros((2,) * 5))
+
+    def test_unpartition_shape_validation(self):
+        arr = np.zeros((8, 8))
+        blocks, grid = partition(arr)
+        with pytest.raises(ValueError, match="does not match"):
+            unpartition(blocks[:2], grid)
+
+    def test_block_count_formula(self):
+        arr = np.zeros((9, 13))
+        _, grid = partition(arr)
+        assert grid.blocks_per_axis == (3, 4)
+        assert grid.nblocks == 12
+
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, data):
+        ndim = data.draw(st.integers(1, 4))
+        shape = tuple(data.draw(st.integers(1, 9)) for _ in range(ndim))
+        rng = np.random.default_rng(data.draw(st.integers(0, 1000)))
+        arr = rng.normal(size=shape)
+        blocks, grid = partition(arr)
+        assert np.array_equal(unpartition(blocks, grid), arr)
+
+
+class TestBlockGrid:
+    def test_grid_derivable_without_data(self):
+        # The decoder reconstructs the grid from the stored shape alone.
+        arr = np.zeros((5, 11, 3))
+        _, grid = partition(arr)
+        rebuilt = BlockGrid(
+            original_shape=(5, 11, 3),
+            padded_shape=tuple(s + (-s) % 4 for s in (5, 11, 3)),
+        )
+        assert rebuilt == grid

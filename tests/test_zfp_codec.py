@@ -1,0 +1,144 @@
+"""Unit + property tests for the ZFP codec end to end."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compressors import ZFPCompressor
+from repro.compressors.base import CorruptStreamError
+from repro.data import load_field
+
+
+@pytest.fixture(scope="module")
+def zfp():
+    return ZFPCompressor()
+
+
+class TestErrorBounds:
+    @pytest.mark.parametrize("eb", [1e-1, 1e-2, 1e-3, 1e-4])
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_paper_bounds(self, zfp, eb, dtype):
+        arr = load_field("nyx", "velocity_x", scale=32).astype(dtype)
+        buf, rec = zfp.roundtrip(arr, eb)
+        err = np.max(np.abs(arr.astype(np.float64) - rec.astype(np.float64)))
+        assert err <= eb * (1 + 1e-9)
+
+    def test_finer_bound_lower_ratio(self, zfp):
+        arr = load_field("cesm-atm", "T", scale=24)
+        ratios = [zfp.compress(arr, eb).ratio for eb in (1e-1, 1e-2, 1e-3, 1e-4)]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_loose_bound_gives_high_ratio(self, zfp):
+        arr = load_field("cesm-atm", "T", scale=24)
+        assert zfp.compress(arr, 1e-1).ratio > 3.0
+
+    def test_mixed_magnitude_blocks(self, zfp):
+        # Per-block exponents: tiny and huge values in one array.
+        arr = np.ones((8, 8), dtype=np.float64)
+        arr[:4, :4] *= 1e-6
+        arr[4:, 4:] *= 1e6
+        buf, rec = zfp.roundtrip(arr, 1e-3)
+        assert np.max(np.abs(arr - rec)) <= 1e-3
+
+
+class TestModes:
+    def test_all_zero_array(self, zfp):
+        arr = np.zeros((16, 16), dtype=np.float32)
+        buf, rec = zfp.roundtrip(arr, 1e-3)
+        assert np.array_equal(rec, arr)
+        assert buf.nbytes < 500  # zero blocks cost almost nothing
+
+    def test_raw_fallback_below_error_floor(self, zfp):
+        # Tolerance far below fixed-point resolution: lossless fallback.
+        arr = np.random.default_rng(0).normal(size=64).astype(np.float64)
+        buf, rec = zfp.roundtrip(arr, 1e-18)
+        assert np.array_equal(rec, arr)
+
+    def test_tolerance_above_range_zeroes_blocks(self, zfp):
+        arr = (np.random.default_rng(1).normal(size=(8, 8)) * 1e-4).astype(np.float64)
+        buf, rec = zfp.roundtrip(arr, 1.0)
+        assert np.max(np.abs(rec - arr)) <= 1.0
+        # Only per-block headers remain: far smaller than the input.
+        assert buf.ratio > 5
+
+
+class TestShapes:
+    @pytest.mark.parametrize("shape", [(1,), (4,), (17,), (3, 5), (16, 16),
+                                       (4, 4, 4), (5, 6, 7), (2, 3, 4, 5)])
+    def test_arbitrary_shapes(self, zfp, shape):
+        rng = np.random.default_rng(2)
+        arr = rng.normal(size=shape).astype(np.float32)
+        buf, rec = zfp.roundtrip(arr, 1e-2)
+        assert rec.shape == shape
+        assert np.max(np.abs(arr - rec)) <= 1e-2
+
+
+class TestSerialization:
+    def test_buffer_bytes_roundtrip(self, zfp):
+        from repro.compressors.base import CompressedBuffer
+
+        arr = np.random.default_rng(3).normal(size=(12, 12)).astype(np.float32)
+        buf = zfp.compress(arr, 1e-2)
+        rec = zfp.decompress(CompressedBuffer.from_bytes(buf.to_bytes()))
+        assert np.max(np.abs(arr - rec)) <= 1e-2
+
+    def test_corrupt_payload_detected(self, zfp):
+        arr = np.random.default_rng(4).normal(size=(16, 16)).astype(np.float32)
+        buf = zfp.compress(arr, 1e-2)
+        bad = buf.__class__(
+            codec=buf.codec,
+            payload=buf.payload[:10],
+            shape=buf.shape,
+            dtype=buf.dtype,
+            error_bound=buf.error_bound,
+        )
+        with pytest.raises((CorruptStreamError, ValueError, EOFError)):
+            zfp.decompress(bad)
+
+    def test_invalid_zlib_level(self):
+        with pytest.raises(ValueError):
+            ZFPCompressor(zlib_level=-1)
+
+
+class TestCrossCodec:
+    def test_sz_usually_beats_zfp_on_smooth_data(self, zfp):
+        # Qualitative behaviour the paper relies on: at matched absolute
+        # bounds SZ reaches higher ratios on smooth fields.
+        from repro.compressors import SZCompressor
+
+        arr = load_field("cesm-atm", "T", scale=24)
+        sz_ratio = SZCompressor().compress(arr, 1e-3).ratio
+        zfp_ratio = zfp.compress(arr, 1e-3).ratio
+        assert sz_ratio > zfp_ratio
+
+
+class TestPropertyRoundTrip:
+    @given(st.data())
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_bound_always_respected(self, data):
+        ndim = data.draw(st.integers(1, 3))
+        shape = tuple(data.draw(st.integers(1, 9)) for _ in range(ndim))
+        n = int(np.prod(shape))
+        values = data.draw(
+            st.lists(st.floats(-1e4, 1e4, width=32), min_size=n, max_size=n)
+        )
+        eb = data.draw(st.sampled_from([1e-1, 1e-2, 1e-3]))
+        arr = np.array(values, dtype=np.float32).reshape(shape)
+        zfp = ZFPCompressor()
+        _, rec = zfp.roundtrip(arr, eb)
+        err = np.max(np.abs(arr.astype(np.float64) - rec.astype(np.float64)))
+        assert err <= eb * (1 + 1e-9)
+
+    @given(st.data())
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_bound_float64_wide_magnitudes(self, data):
+        n = data.draw(st.integers(1, 40))
+        values = data.draw(
+            st.lists(st.floats(-1e12, 1e12), min_size=n, max_size=n)
+        )
+        eb = data.draw(st.sampled_from([1e2, 1.0, 1e-3]))
+        arr = np.array(values, dtype=np.float64)
+        zfp = ZFPCompressor()
+        _, rec = zfp.roundtrip(arr, eb)
+        assert np.max(np.abs(arr - rec)) <= eb * (1 + 1e-9)

@@ -1,0 +1,138 @@
+"""Unit + property tests for negabinary mapping and plane coding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors.zfp.embedded import (
+    decode_planes,
+    encode_planes,
+    int_to_negabinary,
+    negabinary_to_int,
+)
+from repro.utils.bitio import BitReader, BitWriter
+
+
+class TestNegabinary:
+    def test_zero_maps_to_zero(self):
+        assert int_to_negabinary(np.array([0]))[0] == 0
+
+    def test_roundtrip_small(self):
+        vals = np.arange(-100, 101, dtype=np.int64)
+        assert np.array_equal(negabinary_to_int(int_to_negabinary(vals)), vals)
+
+    def test_roundtrip_large(self):
+        vals = np.array([-(2**60), 2**60, -1, 1], dtype=np.int64)
+        assert np.array_equal(negabinary_to_int(int_to_negabinary(vals)), vals)
+
+    def test_truncation_error_bounded(self):
+        # Zeroing bits below plane p changes the value by < 2^(p+1).
+        rng = np.random.default_rng(0)
+        vals = rng.integers(-(2**40), 2**40, size=1000)
+        nb = int_to_negabinary(vals)
+        for p in (4, 10, 20):
+            mask = ~np.uint64((1 << p) - 1)
+            truncated = negabinary_to_int(nb & mask)
+            assert np.max(np.abs(truncated - vals)) < 2 ** (p + 1)
+
+    def test_magnitude_monotone_bits(self):
+        # Larger magnitudes need at least as many negabinary bits.
+        small = int(int_to_negabinary(np.array([3]))[0])
+        large = int(int_to_negabinary(np.array([3000]))[0])
+        assert large.bit_length() >= small.bit_length()
+
+    @given(st.lists(st.integers(-(2**62), 2**62), min_size=1, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, vals):
+        arr = np.array(vals, dtype=np.int64)
+        assert np.array_equal(negabinary_to_int(int_to_negabinary(arr)), arr)
+
+
+def plane_roundtrip(nb, kept, top_plane):
+    w = BitWriter()
+    encode_planes(w, nb, kept, top_plane)
+    r = BitReader(w.getvalue(), nbits=len(w))
+    return decode_planes(r, kept, top_plane, nb.shape[1])
+
+
+class TestPlaneCoding:
+    def test_full_planes_lossless(self):
+        rng = np.random.default_rng(1)
+        vals = rng.integers(0, 2**20, size=(10, 16)).astype(np.uint64)
+        top = 24
+        kept = np.full(10, top + 1, dtype=np.int64)
+        out = plane_roundtrip(vals, kept, top)
+        assert np.array_equal(out, vals)
+
+    def test_zero_planes_all_zero(self):
+        vals = np.full((5, 16), 123, dtype=np.uint64)
+        kept = np.zeros(5, dtype=np.int64)
+        out = plane_roundtrip(vals, kept, 24)
+        assert np.all(out == 0)
+
+    def test_partial_planes_truncate_low_bits(self):
+        vals = np.array([[0b11111111] * 4], dtype=np.uint64)
+        top = 7
+        kept = np.array([4], dtype=np.int64)  # keep planes 7..4
+        out = plane_roundtrip(vals, kept, top)
+        assert np.all(out == 0b11110000)
+
+    def test_mixed_kept_counts(self):
+        rng = np.random.default_rng(2)
+        vals = rng.integers(0, 2**16, size=(20, 16)).astype(np.uint64)
+        top = 20
+        kept = rng.integers(0, top + 2, size=20)
+        out = plane_roundtrip(vals, kept, top)
+        for i in range(20):
+            k = int(kept[i])
+            if k == 0:
+                assert np.all(out[i] == 0)
+            else:
+                cut = top + 1 - k
+                mask = np.uint64(~((1 << cut) - 1) & 0xFFFFFFFFFFFFFFFF)
+                assert np.array_equal(out[i], vals[i] & mask)
+
+    def test_zero_planes_cost_one_bit(self):
+        # All-zero planes should compress to a flag bit, not 65 bits.
+        vals = np.zeros((100, 64), dtype=np.uint64)
+        vals[:, 0] = 1  # plane 0 only
+        w = BitWriter()
+        kept = np.full(100, 25, dtype=np.int64)
+        encode_planes(w, vals, kept, 24)
+        # 100 blocks * (24 empty planes * 1 bit + 1 full plane * 65 bits)
+        # plus one 64-bit group header.
+        assert len(w) == 64 + 100 * (24 + 65)
+
+    def test_kept_planes_validation(self):
+        w = BitWriter()
+        with pytest.raises(ValueError, match="kept_planes"):
+            encode_planes(w, np.zeros((2, 4), dtype=np.uint64),
+                          np.array([1, 99]), top_plane=10)
+
+    def test_shape_validation(self):
+        w = BitWriter()
+        with pytest.raises(ValueError, match="one entry per block"):
+            encode_planes(w, np.zeros((2, 4), dtype=np.uint64),
+                          np.array([1]), top_plane=10)
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, data):
+        nblocks = data.draw(st.integers(1, 12))
+        block_size = data.draw(st.sampled_from([4, 16, 64]))
+        top = data.draw(st.integers(8, 30))
+        rng = np.random.default_rng(data.draw(st.integers(0, 10_000)))
+        vals = rng.integers(0, 1 << (top + 1), size=(nblocks, block_size)).astype(
+            np.uint64
+        )
+        kept = rng.integers(0, top + 2, size=nblocks)
+        out = plane_roundtrip(vals, kept, top)
+        for i in range(nblocks):
+            k = int(kept[i])
+            if k == 0:
+                assert np.all(out[i] == 0)
+            else:
+                cut = top + 1 - k
+                mask = np.uint64((~((1 << cut) - 1)) & 0xFFFFFFFFFFFFFFFF)
+                assert np.array_equal(out[i], vals[i] & mask)

@@ -1,0 +1,76 @@
+"""Unit tests for per-block fixed-point conversion."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.zfp.fixedpoint import (
+    PRECISION_F32,
+    PRECISION_F64,
+    ZERO_EXPONENT,
+    block_exponents,
+    from_fixed_point,
+    precision_for,
+    to_fixed_point,
+)
+
+
+class TestPrecisionFor:
+    def test_known_dtypes(self):
+        assert precision_for(np.float32) == PRECISION_F32
+        assert precision_for(np.float64) == PRECISION_F64
+
+    def test_unsupported(self):
+        with pytest.raises(ValueError):
+            precision_for(np.int32)
+
+
+class TestBlockExponents:
+    def test_exponent_bounds_magnitude(self):
+        blocks = np.array([[0.3, -0.9, 0.1, 0.2]])
+        e = block_exponents(blocks)
+        assert np.max(np.abs(blocks)) < 2.0 ** e[0]
+        assert np.max(np.abs(blocks)) >= 2.0 ** (e[0] - 1)
+
+    def test_power_of_two_boundary(self):
+        e = block_exponents(np.array([[1.0, 0.0, 0.0, 0.0]]))
+        assert 1.0 < 2.0 ** e[0]  # strict bound holds at exact powers
+
+    def test_zero_block_sentinel(self):
+        e = block_exponents(np.zeros((3, 4)))
+        assert np.all(e == ZERO_EXPONENT)
+
+    def test_per_block_independent(self):
+        blocks = np.array([[1e-6, 0, 0, 0], [1e6, 0, 0, 0]])
+        e = block_exponents(blocks)
+        assert e[0] < e[1]
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            block_exponents(np.zeros(4))
+
+
+class TestFixedPointRoundtrip:
+    @pytest.mark.parametrize("precision", [PRECISION_F32, PRECISION_F64])
+    def test_roundtrip_error_below_half_ulp(self, precision):
+        rng = np.random.default_rng(0)
+        blocks = rng.normal(size=(50, 16)) * 10.0 ** rng.integers(-6, 6, size=(50, 1))
+        e = block_exponents(blocks)
+        fixed = to_fixed_point(blocks, e, precision)
+        back = from_fixed_point(fixed, e, precision)
+        # Error per value <= 0.5 integer ulp = 2^(e - precision - 1).
+        tol = 2.0 ** (e.astype(float) - precision - 1)[:, None]
+        assert np.all(np.abs(back - blocks) <= tol * (1 + 1e-12))
+
+    def test_values_fit_precision(self):
+        rng = np.random.default_rng(1)
+        blocks = rng.normal(size=(20, 16))
+        e = block_exponents(blocks)
+        fixed = to_fixed_point(blocks, e, 30)
+        assert np.max(np.abs(fixed)) <= 2**30
+
+    def test_zero_blocks_stay_zero(self):
+        blocks = np.zeros((2, 16))
+        e = block_exponents(blocks)
+        fixed = to_fixed_point(blocks, e, 30)
+        assert np.all(fixed == 0)
+        assert np.all(from_fixed_point(fixed, e, 30) == 0.0)

@@ -1,0 +1,101 @@
+"""Unit tests for ZFP's fixed-precision and fixed-rate modes."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import ZFPCompressor
+from repro.compressors.metrics import psnr
+from repro.data import load_field
+
+
+@pytest.fixture(scope="module")
+def field():
+    return load_field("nyx", "velocity_x", scale=24)
+
+
+@pytest.fixture(scope="module")
+def zfp():
+    return ZFPCompressor()
+
+
+class TestFixedPrecision:
+    def test_roundtrip_shape_and_dtype(self, zfp, field):
+        buf = zfp.compress_fixed_precision(field, 20)
+        rec = zfp.decompress(buf)
+        assert rec.shape == field.shape
+        assert rec.dtype == field.dtype
+        assert np.isinf(buf.error_bound)
+
+    def test_more_planes_better_quality(self, zfp, field):
+        quality = []
+        for planes in (8, 16, 24, 32):
+            buf = zfp.compress_fixed_precision(field, planes)
+            rec = zfp.decompress(buf)
+            quality.append(psnr(field, rec))
+        assert quality == sorted(quality)
+
+    def test_more_planes_bigger_payload(self, zfp, field):
+        sizes = [
+            zfp.compress_fixed_precision(field, p).nbytes for p in (8, 16, 24)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_full_planes_near_lossless(self, zfp, field):
+        precision_planes = 30 + field.ndim + 2  # top_plane + 1 for float32
+        buf = zfp.compress_fixed_precision(field, precision_planes)
+        rec = zfp.decompress(buf)
+        # Error floor: fixed-point + lifting slop only.
+        assert np.max(np.abs(field - rec)) < 1e-5
+
+    def test_buffer_serialization_roundtrip(self, zfp, field):
+        from repro.compressors.base import CompressedBuffer
+
+        buf = zfp.compress_fixed_precision(field, 16)
+        restored = CompressedBuffer.from_bytes(buf.to_bytes())
+        rec = zfp.decompress(restored)
+        assert rec.shape == field.shape
+
+    def test_planes_validation(self, zfp, field):
+        with pytest.raises(ValueError, match="planes"):
+            zfp.compress_fixed_precision(field, 0)
+        with pytest.raises(ValueError, match="planes"):
+            zfp.compress_fixed_precision(field, 99)
+
+    def test_rejects_nan(self, zfp):
+        arr = np.ones((8, 8), dtype=np.float32)
+        arr[0, 0] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            zfp.compress_fixed_precision(arr, 16)
+
+    def test_zero_blocks_stay_zero(self, zfp):
+        arr = np.zeros((8, 8), dtype=np.float32)
+        rec = zfp.decompress(zfp.compress_fixed_precision(arr, 16))
+        assert np.array_equal(rec, arr)
+
+
+class TestFixedRate:
+    def test_rate_controls_size(self, zfp, field):
+        small = zfp.compress_fixed_rate(field, 2.0)
+        large = zfp.compress_fixed_rate(field, 12.0)
+        assert small.nbytes < large.nbytes
+
+    def test_achieved_rate_near_target(self, zfp, field):
+        target = 8.0
+        buf = zfp.compress_fixed_rate(field, target)
+        # zlib may shave it further; the pre-zlib budget is the bound.
+        achieved = buf.nbytes * 8 / field.size
+        assert achieved <= target * 1.15
+
+    def test_rate_quality_tradeoff(self, zfp, field):
+        lo = zfp.decompress(zfp.compress_fixed_rate(field, 3.0))
+        hi = zfp.decompress(zfp.compress_fixed_rate(field, 14.0))
+        assert psnr(field, hi) > psnr(field, lo)
+
+    def test_invalid_rate(self, zfp, field):
+        with pytest.raises(ValueError):
+            zfp.compress_fixed_rate(field, 0.0)
+
+    def test_tiny_budget_clamps_to_one_plane(self, zfp, field):
+        buf = zfp.compress_fixed_rate(field, 0.05)
+        rec = zfp.decompress(buf)  # still decodes to the right shape
+        assert rec.shape == field.shape
