@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Parallel slab-compression scaling benchmark.
+
+Compresses a >=64-slab array through every executor backend, verifies
+the containers are byte-identical to the serial reference, and reports
+wall time, per-slab time and speedup. On a 4-core runner the process
+backend exceeds 1.5x for the ZFP codec (pure-Python encode loops scale
+across processes, not threads).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/parallel_speedup.py
+    PYTHONPATH=src python benchmarks/parallel_speedup.py --quick   # CI
+    PYTHONPATH=src python benchmarks/parallel_speedup.py \
+        --codec zfp --workers 4 --min-speedup 1.5
+
+Exit status is non-zero if any backend's output differs from serial, or
+if ``--min-speedup`` is requested and the best backend falls short.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.compressors import ChunkedCompressor
+from repro.parallel import default_workers
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def build_array(slabs: int, edge: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    # Smooth field with noise: compressible like the paper's datasets.
+    base = np.cumsum(rng.normal(size=(slabs, edge, edge)), axis=0)
+    return (base / np.sqrt(np.arange(1, slabs + 1))[:, None, None]).astype(
+        np.float32
+    )
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--codec", default="zfp", choices=("sz", "zfp"))
+    ap.add_argument("--slabs", type=int, default=64)
+    ap.add_argument("--edge", type=int, default=256,
+                    help="slab edge length (each slab is edge x edge floats)")
+    ap.add_argument("--error-bound", type=float, default=1e-3)
+    ap.add_argument("--workers", type=int, default=None)
+    ap.add_argument("--quick", action="store_true",
+                    help="small array: equivalence check only")
+    ap.add_argument("--min-speedup", type=float, default=0.0,
+                    help="fail unless some backend reaches this speedup")
+    args = ap.parse_args(argv)
+
+    if args.quick:
+        args.slabs, args.edge = max(args.slabs, 64), 48
+    workers = args.workers if args.workers is not None else default_workers()
+    arr = build_array(args.slabs, args.edge)
+    slab_bytes = arr.nbytes // args.slabs
+    print(f"array: {arr.shape} float32, {arr.nbytes / 1e6:.1f} MB "
+          f"in {args.slabs} slabs of {slab_bytes / 1e3:.0f} kB; "
+          f"codec={args.codec}, eb={args.error_bound:g}, workers={workers}")
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        cores = os.cpu_count() or 1
+    if cores < workers:
+        print(f"warning: only {cores} usable core(s) for {workers} workers — "
+              f"pools cannot beat serial here", file=sys.stderr)
+
+    results = {}
+    for backend in BACKENDS:
+        cc = ChunkedCompressor(
+            args.codec, max_chunk_bytes=slab_bytes,
+            executor=backend, workers=workers,
+        )
+        t0 = time.perf_counter()
+        container = cc.compress(arr, args.error_bound)
+        wall = time.perf_counter() - t0
+        results[backend] = (container.to_bytes(), wall, cc.last_stats)
+
+    ref_blob, ref_wall, _ = results["serial"]
+    print(f"\n{'backend':<10} {'wall s':>8} {'task s':>8} "
+          f"{'overlap':>8} {'vs serial':>10}  identical")
+    ok = True
+    best = 1.0
+    for backend in BACKENDS:
+        blob, wall, stats = results[backend]
+        identical = blob == ref_blob
+        ok &= identical
+        vs_serial = ref_wall / wall
+        if backend != "serial":
+            best = max(best, vs_serial)
+        print(f"{backend:<10} {wall:8.3f} {stats.task_seconds:8.3f} "
+              f"{stats.concurrency:8.2f} {vs_serial:9.2f}x  {identical}")
+
+    ratio = len(ref_blob) and arr.nbytes / len(ref_blob)
+    print(f"\ncompression ratio {ratio:.2f}x; "
+          f"best pool backend: {best:.2f}x vs serial")
+    if not ok:
+        print("FAIL: pool output differs from the serial reference",
+              file=sys.stderr)
+        return 1
+    if args.min_speedup and best < args.min_speedup:
+        print(f"FAIL: best speedup {best:.2f}x < required "
+              f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,16 @@ _EXPERIMENTS = (
 )
 
 
+def _add_executor_args(p: argparse.ArgumentParser) -> None:
+    """--workers/--executor knobs shared by the parallel-capable commands."""
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker count for slab-parallel execution "
+                        "(default: CPU count)")
+    p.add_argument("--executor", default="auto",
+                   choices=("auto", "serial", "thread", "process"),
+                   help="execution backend for independent slabs")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing/docs)."""
     parser = argparse.ArgumentParser(
@@ -65,10 +75,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--error-bound", type=float, default=1e-3)
     p.add_argument("--chunk-mb", type=float, default=None,
                    help="bounded-memory slab size; writes a chunked container")
+    _add_executor_args(p)
 
     p = sub.add_parser("decompress", help="decompress to a .npy array")
     p.add_argument("--input", required=True)
     p.add_argument("--output", required=True)
+    _add_executor_args(p)
 
     p = sub.add_parser("characterize",
                        help="run the measurement campaign, save fitted models")
@@ -99,6 +111,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--error-bound", type=float, default=1e-2)
     p.add_argument("--target-gb", type=float, default=512.0)
     p.add_argument("--scale", type=int, default=16)
+    p.add_argument("--chunk-mb", type=float, default=None,
+                   help="shard the ratio measurement into slabs of this size")
+    _add_executor_args(p)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name", choices=_EXPERIMENTS)
@@ -171,17 +186,28 @@ def _cmd_compress(args) -> int:
     from repro.compressors import ChunkedCompressor, get_compressor
 
     arr = np.load(args.input)
-    if args.chunk_mb is not None:
-        cc = ChunkedCompressor(args.codec, max_chunk_bytes=int(args.chunk_mb * 1e6))
+    chunk_mb = args.chunk_mb
+    # A worker request implies slab sharding; default to 64 MB slabs.
+    if chunk_mb is None and (args.workers is not None or args.executor != "auto"):
+        chunk_mb = 64.0
+    if chunk_mb is not None:
+        cc = ChunkedCompressor(
+            args.codec, max_chunk_bytes=int(chunk_mb * 1e6),
+            executor=args.executor, workers=args.workers,
+        )
         buf = cc.compress(arr, args.error_bound)
         label = f"{args.codec} ({len(buf.chunks)} chunks)"
+        stats = cc.last_stats
     else:
         buf = get_compressor(args.codec).compress(arr, args.error_bound)
         label = args.codec
+        stats = None
     with open(args.output, "wb") as fh:
         fh.write(buf.to_bytes())
     print(f"{label}: {arr.nbytes} -> {buf.nbytes} bytes "
           f"(ratio {buf.ratio:.2f}x, eb {args.error_bound:g})")
+    if stats is not None:
+        print(f"  {stats.summary()}")
     return 0
 
 
@@ -193,7 +219,9 @@ def _cmd_decompress(args) -> int:
     if blob[:4] == b"RPCK":
         container = ChunkedBuffer.from_bytes(blob)
         codec_name = container.chunks[0].codec
-        rec = ChunkedCompressor(codec_name).decompress(container)
+        rec = ChunkedCompressor(
+            codec_name, executor=args.executor, workers=args.workers
+        ).decompress(container)
         eb = container.chunks[0].error_bound
     else:
         buf = CompressedBuffer.from_bytes(blob)
@@ -316,7 +344,11 @@ def _cmd_dump(args) -> int:
     bundle = ModelBundle.load(args.models)
     cpu = get_cpu(args.arch)
     node = SimulatedNode(cpu, seed=0)
-    dumper = DataDumper(node)
+    chunk_bytes = None if args.chunk_mb is None else int(args.chunk_mb * 1e6)
+    dumper = DataDumper(
+        node, chunk_bytes=chunk_bytes,
+        executor=args.executor, workers=args.workers,
+    )
     arr = load_field(args.dataset, args.field, scale=args.scale)
     codec = get_compressor(args.codec)
     target = int(args.target_gb * 1e9)
@@ -336,6 +368,8 @@ def _cmd_dump(args) -> int:
           f"in {tuned.total_runtime_s:8.1f} s")
     print(f"  saved      : {saved / 1e3:8.2f} kJ "
           f"({saved / base.total_energy_j:+.1%})")
+    if base.parallel is not None:
+        print(f"  slab exec  : {base.parallel.summary()}")
     return 0
 
 

@@ -23,6 +23,7 @@ __all__ = [
 
 _MAGIC = b"RPRC"
 _HEADER_FMT = "<4s8sBBd"  # magic, codec name, ndim, dtype char, error bound
+_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
 
 
 class CompressionError(ValueError):
@@ -59,8 +60,12 @@ class CompressedBuffer:
 
     @property
     def nbytes(self) -> int:
-        """Serialized size in bytes (header + payload)."""
-        return len(self.to_bytes())
+        """Serialized size in bytes (header + shape table + payload).
+
+        Computed arithmetically — reports poll this per slab, so it must
+        not re-serialize the payload on every call.
+        """
+        return _HEADER_SIZE + 8 * len(self.shape) + len(self.payload)
 
     @property
     def original_nbytes(self) -> int:

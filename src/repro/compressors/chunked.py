@@ -7,15 +7,22 @@ an independent :class:`~repro.compressors.base.CompressedBuffer` per
 slab inside a simple container. Each slab honours the same absolute
 error bound, so the container does too.
 
-Slab independence also buys random access (decode one slab without the
-rest) and is how parallel compression would shard the work.
+Slab independence buys random access (decode one slab without the rest)
+and parallelism: slabs are submitted through a
+:class:`~repro.parallel.Executor` (serial, thread-pool or process-pool,
+auto-selected from slab count and codec cost), with results collected
+in slab order so the container — and its serialized bytes — are
+identical no matter which backend ran. Per-slab timing is recorded on
+``last_stats`` for pipeline reports and scaling benchmarks.
 """
 
 from __future__ import annotations
 
 import struct
+import time
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from functools import partial
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -25,11 +32,22 @@ from repro.compressors.base import (
     CorruptStreamError,
     get_compressor,
 )
+from repro.parallel import (
+    CODEC_COST,
+    Executor,
+    ParallelStats,
+    TaskStat,
+    resolve_executor,
+)
 from repro.utils.validation import as_float_array, check_positive
 
 __all__ = ["ChunkedBuffer", "ChunkedCompressor"]
 
 _MAGIC = b"RPCK"
+#: magic + ndim byte + chunk-count u32; the shape table adds 8 bytes/dim.
+_FIXED_HEADER_BYTES = len(_MAGIC) + 1 + 4
+#: u64 length prefix in front of every chunk body.
+_CHUNK_PREFIX_BYTES = 8
 
 
 @dataclass(frozen=True)
@@ -41,7 +59,12 @@ class ChunkedBuffer:
 
     @property
     def nbytes(self) -> int:
-        return len(self.to_bytes())
+        """Serialized size, computed arithmetically (no serialization)."""
+        return (
+            _FIXED_HEADER_BYTES
+            + 8 * len(self.shape)
+            + sum(_CHUNK_PREFIX_BYTES + c.nbytes for c in self.chunks)
+        )
 
     @property
     def original_nbytes(self) -> int:
@@ -80,12 +103,22 @@ class ChunkedBuffer:
             off += 4
         except struct.error as exc:
             raise CorruptStreamError(f"container truncated in header: {exc}") from exc
+        if ndim == 0:
+            raise CorruptStreamError("container declares a 0-dimensional shape")
+        if any(s <= 0 for s in shape):
+            raise CorruptStreamError(f"container shape {tuple(shape)} is not positive")
+        if count == 0:
+            raise CorruptStreamError("container declares zero chunks")
+        if count * _CHUNK_PREFIX_BYTES > len(data) - off:
+            raise CorruptStreamError(
+                f"chunk count {count} exceeds what {len(data)} bytes can hold"
+            )
         chunks: List[CompressedBuffer] = []
         for _ in range(count):
-            if off + 8 > len(data):
+            if off + _CHUNK_PREFIX_BYTES > len(data):
                 raise CorruptStreamError("container truncated in chunk table")
             (size,) = struct.unpack_from("<Q", data, off)
-            off += 8
+            off += _CHUNK_PREFIX_BYTES
             if off + size > len(data):
                 raise CorruptStreamError("container truncated in chunk body")
             chunks.append(CompressedBuffer.from_bytes(data[off : off + size]))
@@ -93,13 +126,49 @@ class ChunkedBuffer:
         return cls(chunks=tuple(chunks), shape=tuple(int(s) for s in shape))
 
 
-class ChunkedCompressor:
-    """Stream arrays through a codec in bounded-memory slabs."""
+def _compress_slab(codec: Compressor, error_bound: float, slab: np.ndarray):
+    """Module-level so process-pool workers can pickle the task."""
+    return codec.compress(slab, error_bound)
 
-    def __init__(self, codec: "Compressor | str" = "sz", max_chunk_bytes: int = 1 << 26):
+
+def _decompress_chunk(codec: Compressor, chunk: CompressedBuffer):
+    return codec.decompress(chunk)
+
+
+class ChunkedCompressor:
+    """Stream arrays through a codec in bounded-memory slabs.
+
+    Parameters
+    ----------
+    codec:
+        Registered codec name or instance; every slab runs through it.
+    max_chunk_bytes:
+        Upper bound on the uncompressed bytes per slab.
+    executor:
+        ``"serial"``, ``"thread"``, ``"process"``, ``"auto"`` (selection
+        by slab count and codec cost) or a ready
+        :class:`~repro.parallel.Executor` instance (not closed by us, so
+        one pool can serve many calls).
+    workers:
+        Worker count for pool backends; ``None`` uses the CPU count.
+    """
+
+    def __init__(
+        self,
+        codec: "Compressor | str" = "sz",
+        max_chunk_bytes: int = 1 << 26,
+        executor: "Executor | str" = "auto",
+        workers: Optional[int] = None,
+    ):
         check_positive(max_chunk_bytes, "max_chunk_bytes")
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.codec = get_compressor(codec) if isinstance(codec, str) else codec
         self.max_chunk_bytes = int(max_chunk_bytes)
+        self.executor = executor
+        self.workers = workers
+        #: Timing of the most recent compress/decompress call.
+        self.last_stats: Optional[ParallelStats] = None
 
     def _slabs(self, arr: np.ndarray) -> Iterator[np.ndarray]:
         row_bytes = arr.nbytes // arr.shape[0] if arr.shape[0] else arr.nbytes
@@ -107,19 +176,66 @@ class ChunkedCompressor:
         for lo in range(0, arr.shape[0], rows):
             yield arr[lo : lo + rows]
 
-    def compress(self, data, error_bound: float) -> ChunkedBuffer:
-        """Compress slab by slab; each slab satisfies the bound."""
-        arr = as_float_array(data, "data")
-        chunks = tuple(
-            self.codec.compress(slab, error_bound) for slab in self._slabs(arr)
+    def _run(self, fn, items, bytes_in, bytes_out_of):
+        """Map *fn* over *items* through the configured executor and
+        record a :class:`ParallelStats` on ``last_stats``."""
+        executor, owned = resolve_executor(
+            self.executor,
+            self.workers,
+            n_tasks=len(items),
+            task_nbytes=max(bytes_in) if bytes_in else 0,
+            codec_cost=CODEC_COST.get(self.codec.name, 4.0),
         )
-        return ChunkedBuffer(chunks=chunks, shape=arr.shape)
+        t0 = time.perf_counter()
+        try:
+            results, times = executor.map_timed(fn, items)
+        finally:
+            if owned:
+                executor.close()
+        wall = time.perf_counter() - t0
+        self.last_stats = ParallelStats(
+            executor=executor.name,
+            workers=executor.workers,
+            wall_s=wall,
+            tasks=tuple(
+                TaskStat(
+                    index=i,
+                    wall_s=times[i],
+                    bytes_in=bytes_in[i],
+                    bytes_out=bytes_out_of(results[i]),
+                )
+                for i in range(len(results))
+            ),
+        )
+        return results
+
+    def compress(self, data, error_bound: float) -> ChunkedBuffer:
+        """Compress slab by slab; each slab satisfies the bound.
+
+        Slabs run through the configured executor; chunk order (and
+        therefore the serialized container) matches the serial path
+        byte for byte.
+        """
+        arr = as_float_array(data, "data")
+        slabs = list(self._slabs(arr))
+        chunks = self._run(
+            partial(_compress_slab, self.codec, float(error_bound)),
+            slabs,
+            bytes_in=[s.nbytes for s in slabs],
+            bytes_out_of=lambda c: c.nbytes,
+        )
+        return ChunkedBuffer(chunks=tuple(chunks), shape=arr.shape)
 
     def decompress(self, container: ChunkedBuffer) -> np.ndarray:
         """Reassemble the full array from its slabs."""
         if not container.chunks:
             raise CorruptStreamError("container holds no chunks")
-        parts = [self.codec.decompress(c) for c in container.chunks]
+        parts = self._run(
+            partial(_decompress_chunk, self.codec),
+            list(container.chunks),
+            bytes_in=[c.nbytes for c in container.chunks],
+            bytes_out_of=lambda a: a.nbytes,
+        )
         out = np.concatenate(parts, axis=0)
         if out.shape != container.shape:
             raise CorruptStreamError(

@@ -159,10 +159,17 @@ class TunedIOPipeline:
         target_bytes: int = int(512e9),
         data_scale: int = 16,
         seed: int = 0,
+        chunk_bytes: Optional[int] = None,
+        executor: str = "auto",
+        workers: Optional[int] = None,
     ) -> SavingsReport:
         """Dump *target_bytes* at base clock and at the tuned frequencies.
 
         Returns the Fig. 6-style savings comparison for one error bound.
+        With *chunk_bytes* set, the ratio measurement shards the sample
+        field into slabs executed through :mod:`repro.parallel`
+        (*executor*/*workers* select and size the backend); per-slab
+        timing is surfaced on each report's ``parallel`` attribute.
         """
         node = self._nodes_by_arch.get(arch)
         if node is None:
@@ -174,7 +181,10 @@ class TunedIOPipeline:
             )
         codec = get_compressor(compressor) if isinstance(compressor, str) else compressor
         sample = load_field(dataset, field_name, scale=data_scale, seed=seed)
-        dumper = DataDumper(node, self.nfs)
+        dumper = DataDumper(
+            node, self.nfs,
+            chunk_bytes=chunk_bytes, executor=executor, workers=workers,
+        )
 
         baseline = dumper.dump(codec, sample, error_bound, target_bytes)
         tuned = dumper.dump(

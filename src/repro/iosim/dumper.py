@@ -6,20 +6,27 @@ own pinned frequency (Eqn. 3's piecewise recommendation). The real
 codec runs on a working-scale field to obtain the true compression
 ratio; costs then extrapolate linearly in bytes to the target size
 (exactly how the paper reaches 512 GB by concatenating NYX snapshots).
+
+With *chunk_bytes* set, the ratio measurement shards the sample field
+into slabs and runs them through a :mod:`repro.parallel` executor; the
+per-slab timing lands on :attr:`DumpReport.parallel` so scaling can be
+tracked alongside the energy numbers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.compressors.base import Compressor
+from repro.compressors.chunked import ChunkedCompressor
 from repro.hardware.node import SimulatedNode
 from repro.hardware.workload import WorkloadKind, compression_workload
 from repro.iosim.nfs import NfsTarget
 from repro.iosim.transit import transit_workload
+from repro.parallel import Executor, ParallelStats
 from repro.utils.validation import check_positive
 
 __all__ = ["StageReport", "DumpReport", "DataDumper"]
@@ -53,6 +60,9 @@ class DumpReport:
     write: StageReport
     compression_ratio: float
     error_bound: float
+    #: Per-slab executor timing of the ratio measurement; ``None`` when
+    #: the sample was compressed monolithically.
+    parallel: Optional[ParallelStats] = None
 
     @property
     def total_energy_j(self) -> float:
@@ -72,13 +82,24 @@ class DataDumper:
     """
 
     def __init__(
-        self, node: SimulatedNode, nfs: NfsTarget | None = None, repeats: int = 10
+        self,
+        node: SimulatedNode,
+        nfs: NfsTarget | None = None,
+        repeats: int = 10,
+        chunk_bytes: Optional[int] = None,
+        executor: "Executor | str" = "auto",
+        workers: Optional[int] = None,
     ) -> None:
         if repeats < 1:
             raise ValueError(f"repeats must be >= 1, got {repeats}")
+        if chunk_bytes is not None:
+            check_positive(chunk_bytes, "chunk_bytes")
         self.node = node
         self.nfs = nfs if nfs is not None else NfsTarget()
         self.repeats = int(repeats)
+        self.chunk_bytes = None if chunk_bytes is None else int(chunk_bytes)
+        self.executor = executor
+        self.workers = workers
 
     def _run_stage(self, workload, freq_ghz: float):
         self.node.set_frequency(freq_ghz)
@@ -115,7 +136,18 @@ class DataDumper:
         if compressor.name not in _KIND_BY_CODEC:
             raise KeyError(f"no workload kind for codec {compressor.name!r}")
 
-        buf = compressor.compress(sample_field, error_bound)
+        parallel: Optional[ParallelStats] = None
+        if self.chunk_bytes is not None:
+            chunked = ChunkedCompressor(
+                compressor,
+                max_chunk_bytes=self.chunk_bytes,
+                executor=self.executor,
+                workers=self.workers,
+            )
+            buf = chunked.compress(sample_field, error_bound)
+            parallel = chunked.last_stats
+        else:
+            buf = compressor.compress(sample_field, error_bound)
         ratio = buf.ratio
         compressed_bytes = max(1, int(round(target_bytes / ratio)))
 
@@ -149,4 +181,5 @@ class DataDumper:
             ),
             compression_ratio=ratio,
             error_bound=error_bound,
+            parallel=parallel,
         )

@@ -1,0 +1,35 @@
+"""Parallel execution layer for slab-sharded compression and sweeps.
+
+See :mod:`repro.parallel.executor` for the backend model and the
+auto-selection rules, and :mod:`repro.parallel.instrumentation` for the
+per-task timing records surfaced in pipeline reports.
+"""
+
+from repro.parallel.executor import (
+    CODEC_COST,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    available_executors,
+    choose_backend,
+    default_workers,
+    get_executor,
+    resolve_executor,
+)
+from repro.parallel.instrumentation import ParallelStats, TaskStat
+
+__all__ = [
+    "CODEC_COST",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "ParallelStats",
+    "TaskStat",
+    "available_executors",
+    "choose_backend",
+    "default_workers",
+    "get_executor",
+    "resolve_executor",
+]

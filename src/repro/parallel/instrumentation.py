@@ -1,0 +1,94 @@
+"""Lightweight instrumentation for parallel slab execution.
+
+Every executor-driven map records one :class:`TaskStat` per task (wall
+time inside the worker, bytes in/out) and rolls them into a
+:class:`ParallelStats` summary. The summary's ``concurrency`` is the
+ratio of summed in-worker time to observed wall time — 1.0 for a serial
+run, approaching the worker count for a perfectly overlapped one. It is
+*not* a speedup over the serial path: on an oversubscribed machine the
+in-worker clocks also count run-queue wait, so concurrency can look high
+while wall time is worse than serial. True speedup needs a serial
+baseline; ``benchmarks/parallel_speedup.py`` reports it as "vs serial".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["TaskStat", "ParallelStats"]
+
+
+@dataclass(frozen=True)
+class TaskStat:
+    """Execution record of a single task (one slab, one sweep point...)."""
+
+    index: int
+    wall_s: float
+    bytes_in: int = 0
+    bytes_out: int = 0
+
+
+@dataclass(frozen=True)
+class ParallelStats:
+    """Summary of one executor-driven map."""
+
+    executor: str
+    workers: int
+    wall_s: float
+    tasks: Tuple[TaskStat, ...]
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def task_seconds(self) -> float:
+        """Total in-worker compute time across all tasks."""
+        return float(sum(t.wall_s for t in self.tasks))
+
+    @property
+    def concurrency(self) -> float:
+        """Summed task time over wall time (1.0 when serial).
+
+        Measures how much work overlapped, not how much faster than a
+        serial run: under CPU contention the in-worker clocks include
+        time spent waiting for a core.
+        """
+        return self.task_seconds / max(self.wall_s, 1e-12)
+
+    @property
+    def bytes_in(self) -> int:
+        return sum(t.bytes_in for t in self.tasks)
+
+    @property
+    def bytes_out(self) -> int:
+        return sum(t.bytes_out for t in self.tasks)
+
+    @property
+    def throughput_bps(self) -> float:
+        """Input bytes processed per wall-clock second."""
+        return self.bytes_in / max(self.wall_s, 1e-12)
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for table rendering / CSV export."""
+        return {
+            "executor": self.executor,
+            "workers": self.workers,
+            "tasks": self.n_tasks,
+            "wall_s": self.wall_s,
+            "task_s": self.task_seconds,
+            "concurrency": self.concurrency,
+            "mb_in": self.bytes_in / 1e6,
+            "mb_out": self.bytes_out / 1e6,
+            "throughput_mbps": self.throughput_bps / 1e6,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable summary for CLI/benchmark output."""
+        return (
+            f"{self.n_tasks} tasks via {self.executor}x{self.workers}: "
+            f"{self.wall_s:.3f} s wall, {self.task_seconds:.3f} s task time, "
+            f"{self.concurrency:.2f}x concurrency, "
+            f"{self.throughput_bps / 1e6:.1f} MB/s"
+        )

@@ -11,7 +11,13 @@ from repro.workflow.sweep import (
 from repro.workflow.results import sampleset_to_rows, rows_to_csv
 from repro.workflow.report import render_table, render_series
 from repro.workflow.asciiplot import ascii_chart
-from repro.workflow.campaign import CheckpointCampaign, CampaignReport, run_campaign
+from repro.workflow.campaign import (
+    CampaignPoint,
+    CampaignReport,
+    CheckpointCampaign,
+    run_campaign,
+    run_campaign_sweep,
+)
 from repro.workflow.validation import leave_one_dataset_out, loocv_rows
 from repro.workflow.export import export_campaign
 
@@ -29,7 +35,9 @@ __all__ = [
     "ascii_chart",
     "CheckpointCampaign",
     "CampaignReport",
+    "CampaignPoint",
     "run_campaign",
+    "run_campaign_sweep",
     "leave_one_dataset_out",
     "loocv_rows",
     "export_campaign",

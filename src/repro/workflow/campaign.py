@@ -13,17 +13,26 @@ not.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from functools import partial
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.compressors.base import Compressor
+from repro.compressors.base import Compressor, get_compressor
+from repro.hardware.cpu import CpuSpec
 from repro.hardware.node import SimulatedNode
 from repro.iosim.dumper import DataDumper, DumpReport
 from repro.iosim.nfs import NfsTarget
+from repro.parallel import Executor, resolve_executor
 from repro.utils.validation import check_nonnegative, check_positive
 
-__all__ = ["CheckpointCampaign", "CampaignReport", "run_campaign"]
+__all__ = [
+    "CheckpointCampaign",
+    "CampaignReport",
+    "CampaignPoint",
+    "run_campaign",
+    "run_campaign_sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -109,3 +118,97 @@ def run_campaign(
         compute_time_s=compute_time,
         compute_energy_j=compute_energy,
     )
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One point of a campaign sweep: a bound and optional tuned clocks."""
+
+    error_bound: float
+    compress_freq_ghz: Optional[float] = None
+    write_freq_ghz: Optional[float] = None
+
+    def __post_init__(self):
+        check_positive(self.error_bound, "error_bound")
+
+
+def _run_campaign_point(
+    cpu: CpuSpec,
+    codec_name: str,
+    sample_field: np.ndarray,
+    campaign: CheckpointCampaign,
+    nfs: Optional[NfsTarget],
+    repeats: int,
+    seed: int,
+    point: CampaignPoint,
+) -> CampaignReport:
+    """Module-level so process-pool workers can pickle the task.
+
+    Every point gets its own freshly seeded node, so results are
+    independent of execution order — and therefore of the backend.
+    """
+    node = SimulatedNode(cpu, seed=seed)
+    return run_campaign(
+        node,
+        get_compressor(codec_name),
+        sample_field,
+        point.error_bound,
+        campaign,
+        compress_freq_ghz=point.compress_freq_ghz,
+        write_freq_ghz=point.write_freq_ghz,
+        nfs=nfs,
+        repeats=repeats,
+    )
+
+
+def run_campaign_sweep(
+    cpu: CpuSpec,
+    compressor: "Compressor | str",
+    sample_field: np.ndarray,
+    points: Sequence["CampaignPoint | float"],
+    campaign: CheckpointCampaign,
+    nfs: Optional[NfsTarget] = None,
+    repeats: int = 3,
+    seed: int = 0,
+    executor: "Executor | str" = "auto",
+    workers: Optional[int] = None,
+) -> Tuple[CampaignReport, ...]:
+    """Play the campaign at every sweep point, points in parallel.
+
+    Each point (a :class:`CampaignPoint`, or a bare error bound) runs on
+    its own node seeded with *seed*, so a sweep's reports are mutually
+    comparable and byte-identical across executor backends. The sweep
+    fans out through :mod:`repro.parallel` — process pools pay off once
+    the per-point codec work dominates the fork cost.
+    """
+    if not points:
+        raise ValueError("points must be non-empty")
+    resolved = tuple(
+        p if isinstance(p, CampaignPoint) else CampaignPoint(error_bound=float(p))
+        for p in points
+    )
+    codec_name = compressor if isinstance(compressor, str) else compressor.name
+    get_compressor(codec_name)  # fail fast on unknown codecs
+    fn = partial(
+        _run_campaign_point,
+        cpu,
+        codec_name,
+        sample_field,
+        campaign,
+        nfs,
+        int(repeats),
+        int(seed),
+    )
+    pool, owned = resolve_executor(
+        executor,
+        workers,
+        n_tasks=len(resolved),
+        task_nbytes=sample_field.nbytes * campaign.n_snapshots,
+        codec_cost=4.0,
+    )
+    try:
+        reports = pool.map(fn, resolved)
+    finally:
+        if owned:
+            pool.close()
+    return tuple(reports)

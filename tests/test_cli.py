@@ -60,6 +60,39 @@ class TestGenerateCompressDecompress:
         a, b = np.load(field), np.load(rec)
         assert np.max(np.abs(a.astype(float) - b.astype(float))) <= 1e-2
 
+    def test_parallel_chunked_workflow(self, tmp_path, capsys):
+        field = tmp_path / "f.npy"
+        comp = tmp_path / "f.rpck"
+        rec = tmp_path / "r.npy"
+        assert main(["generate", "--dataset", "nyx", "--field", "velocity_x",
+                     "--scale", "32", "--output", str(field)]) == 0
+        assert main(["compress", "--input", str(field), "--output", str(comp),
+                     "--codec", "sz", "--error-bound", "1e-2",
+                     "--chunk-mb", "0.01",
+                     "--executor", "thread", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "chunks" in out
+        assert "tasks via thread" in out
+        assert main(["decompress", "--input", str(comp), "--output", str(rec),
+                     "--executor", "serial"]) == 0
+        a, b = np.load(field), np.load(rec)
+        assert np.max(np.abs(a.astype(float) - b.astype(float))) <= 1e-2
+
+    def test_workers_flag_implies_chunking(self, tmp_path, capsys):
+        field = tmp_path / "f.npy"
+        np.save(field, np.ones((64, 8), dtype=np.float32))
+        assert main(["compress", "--input", str(field),
+                     "--output", str(tmp_path / "o.rpck"),
+                     "--codec", "sz", "--workers", "2"]) == 0
+        assert "chunks" in capsys.readouterr().out
+
+    def test_executor_flag_validated(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compress", "--input", "x", "--output", "y",
+                 "--executor", "gpu"]
+            )
+
     def test_unknown_codec_is_error_not_crash(self, tmp_path, capsys):
         field = tmp_path / "f.npy"
         np.save(field, np.ones(16, dtype=np.float32))

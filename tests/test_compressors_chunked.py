@@ -101,6 +101,32 @@ class TestContainerSerialization:
             cc.decompress(empty)
 
 
+class TestNbytesArithmetic:
+    """nbytes is computed from header arithmetic, never by serializing;
+    it must agree exactly with the serialized length."""
+
+    def test_container_nbytes_matches_serialization(self, field):
+        cc = ChunkedCompressor("sz", max_chunk_bytes=1 << 14)
+        container = cc.compress(field, 1e-2)
+        assert container.nbytes == len(container.to_bytes())
+
+    def test_chunk_nbytes_matches_serialization(self, field):
+        buf = SZCompressor().compress(field, 1e-2)
+        assert buf.nbytes == len(buf.to_bytes())
+
+    def test_single_chunk_container(self):
+        arr = np.random.default_rng(3).normal(size=(4, 4)).astype(np.float64)
+        container = ChunkedCompressor("zfp").compress(arr, 1e-3)
+        assert container.nbytes == len(container.to_bytes())
+
+    def test_repeated_polls_are_consistent(self, field):
+        container = ChunkedCompressor("sz", max_chunk_bytes=1 << 14).compress(
+            field, 1e-2
+        )
+        first = container.nbytes
+        assert all(container.nbytes == first for _ in range(100))
+
+
 class TestConfiguration:
     def test_codec_by_name_or_instance(self):
         assert ChunkedCompressor("zfp").codec.name == "zfp"
@@ -109,3 +135,7 @@ class TestConfiguration:
     def test_invalid_budget(self):
         with pytest.raises(ValueError):
             ChunkedCompressor("sz", max_chunk_bytes=0)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ChunkedCompressor("sz", workers=0)

@@ -9,9 +9,13 @@ If one of these fails after an *intentional* modeling change, update
 EXPERIMENTS.md alongside the expected values here.
 """
 
+import hashlib
+
 import numpy as np
 import pytest
 
+from repro.compressors import ChunkedCompressor
+from repro.data import load_field
 from repro.experiments import figure5, figure6, headline
 from repro.experiments.context import ExperimentContext
 from repro.workflow.sweep import SweepConfig
@@ -74,6 +78,29 @@ class TestGoldenFigure6:
         fracs = [r.energy_saving_fraction
                  for reports in results.values() for r in reports]
         assert float(np.mean(fracs)) == pytest.approx(0.111, abs=0.02)
+
+
+class TestGoldenParallelDeterminism:
+    """Serial, thread and process executors must emit identical bytes.
+
+    The checksum pins the seed-0 NYX container produced by the serial
+    path; any divergence between backends — or any accidental change to
+    the codec or container format — shows up as a mismatch here.
+    """
+
+    GOLDEN_SHA256 = "6e4b4f0fef4461b67816d572bd9c33449ff588b8cc10ff6e9856bcf3a89b040f"
+
+    def test_backends_byte_identical_and_pinned(self):
+        arr = load_field("nyx", "velocity_x", scale=40, seed=0)
+        blobs = {}
+        for executor, workers in (("serial", None), ("thread", 2), ("process", 2)):
+            cc = ChunkedCompressor("sz", max_chunk_bytes=1 << 10,
+                                   executor=executor, workers=workers)
+            container = cc.compress(arr, 1e-2)
+            assert len(container.chunks) == 13  # one slab per leading row
+            blobs[executor] = container.to_bytes()
+        assert blobs["serial"] == blobs["thread"] == blobs["process"]
+        assert hashlib.sha256(blobs["serial"]).hexdigest() == self.GOLDEN_SHA256
 
 
 class TestGoldenHeadline:

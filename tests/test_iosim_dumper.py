@@ -85,3 +85,43 @@ class TestDump:
         node = SimulatedNode(BROADWELL_D1548)
         with pytest.raises(ValueError):
             DataDumper(node, repeats=0)
+
+
+class TestChunkedDump:
+    def _dumper(self, **kwargs):
+        node = SimulatedNode(
+            BROADWELL_D1548, power_noise=0.0, runtime_noise=0.0, seed=0
+        )
+        return DataDumper(node, repeats=1, **kwargs)
+
+    def test_monolithic_report_has_no_parallel_stats(self, sample):
+        rep = self._dumper().dump(SZCompressor(), sample, 1e-2, int(10e9))
+        assert rep.parallel is None
+
+    def test_chunked_dump_records_slab_stats(self, sample):
+        dumper = self._dumper(chunk_bytes=1 << 12, executor="serial")
+        rep = dumper.dump(SZCompressor(), sample, 1e-2, int(10e9))
+        assert rep.parallel is not None
+        assert rep.parallel.executor == "serial"
+        assert rep.parallel.n_tasks > 1
+        assert rep.parallel.bytes_in == sample.nbytes
+        assert rep.compression_ratio > 1.0
+
+    def test_chunked_energy_matches_monolithic_closely(self, sample):
+        # Slab headers shave a little off the ratio but the energy
+        # pipeline must stay consistent with the monolithic path.
+        mono = self._dumper().dump(SZCompressor(), sample, 1e-2, int(10e9))
+        chunked = self._dumper(chunk_bytes=1 << 14, executor="thread",
+                               workers=2).dump(SZCompressor(), sample, 1e-2,
+                                               int(10e9))
+        assert chunked.compression_ratio == pytest.approx(
+            mono.compression_ratio, rel=0.25
+        )
+        assert chunked.compress.energy_j == pytest.approx(
+            mono.compress.energy_j, rel=0.05
+        )
+
+    def test_invalid_chunk_bytes(self):
+        node = SimulatedNode(BROADWELL_D1548)
+        with pytest.raises(ValueError):
+            DataDumper(node, chunk_bytes=0)

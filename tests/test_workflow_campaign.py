@@ -6,7 +6,13 @@ from repro.compressors import SZCompressor
 from repro.data import load_field
 from repro.hardware.cpu import SKYLAKE_4114
 from repro.hardware.node import SimulatedNode
-from repro.workflow.campaign import CampaignReport, CheckpointCampaign, run_campaign
+from repro.workflow.campaign import (
+    CampaignPoint,
+    CampaignReport,
+    CheckpointCampaign,
+    run_campaign,
+    run_campaign_sweep,
+)
 
 
 @pytest.fixture(scope="module")
@@ -76,3 +82,58 @@ class TestRunCampaign:
         r2 = run_campaign(node, SZCompressor(), sample, 1e-2, two, repeats=1)
         r6 = run_campaign(node, SZCompressor(), sample, 1e-2, six, repeats=1)
         assert r6.io_energy_j == pytest.approx(3 * r2.io_energy_j, rel=0.01)
+
+
+SWEEP_CAMPAIGN = CheckpointCampaign(
+    snapshot_bytes=int(16e9), n_snapshots=2, compute_interval_s=600.0
+)
+
+
+class TestCampaignSweep:
+    def test_points_match_fresh_node_runs(self, sample):
+        reports = run_campaign_sweep(
+            SKYLAKE_4114, "sz", sample, (1e-1, 1e-2), SWEEP_CAMPAIGN,
+            repeats=1, executor="serial",
+        )
+        assert len(reports) == 2
+        for eb, rep in zip((1e-1, 1e-2), reports):
+            expected = run_campaign(
+                SimulatedNode(SKYLAKE_4114, seed=0), SZCompressor(), sample,
+                eb, SWEEP_CAMPAIGN, repeats=1,
+            )
+            assert rep.io_energy_j == pytest.approx(expected.io_energy_j)
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_pool_backends_reproduce_serial(self, sample, executor):
+        kwargs = dict(repeats=1, seed=3)
+        serial = run_campaign_sweep(
+            SKYLAKE_4114, "sz", sample, (1e-1, 1e-2, 1e-3), SWEEP_CAMPAIGN,
+            executor="serial", **kwargs,
+        )
+        pooled = run_campaign_sweep(
+            SKYLAKE_4114, "sz", sample, (1e-1, 1e-2, 1e-3), SWEEP_CAMPAIGN,
+            executor=executor, workers=2, **kwargs,
+        )
+        for a, b in zip(serial, pooled):
+            assert a.io_energy_j == b.io_energy_j
+            assert a.io_time_s == b.io_time_s
+
+    def test_tuned_points_save_energy(self, sample):
+        base = CampaignPoint(error_bound=1e-2)
+        tuned = CampaignPoint(
+            error_bound=1e-2, compress_freq_ghz=1.925, write_freq_ghz=1.85
+        )
+        reports = run_campaign_sweep(
+            SKYLAKE_4114, SZCompressor(), sample, (base, tuned),
+            SWEEP_CAMPAIGN, repeats=1, executor="serial",
+        )
+        assert reports[1].io_energy_j < reports[0].io_energy_j
+
+    def test_validation(self, sample):
+        with pytest.raises(ValueError):
+            run_campaign_sweep(SKYLAKE_4114, "sz", sample, (), SWEEP_CAMPAIGN)
+        with pytest.raises(KeyError):
+            run_campaign_sweep(SKYLAKE_4114, "lz4", sample, (1e-2,),
+                               SWEEP_CAMPAIGN)
+        with pytest.raises(ValueError):
+            CampaignPoint(error_bound=-1.0)
