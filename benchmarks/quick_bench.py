@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""Quick deterministic codec benchmark with regression gating.
+
+Runs a small, fixed SZ and ZFP compress/decompress workload and writes
+a JSON report of wall times and compression ratios. Wall times are
+*normalized* by a calibration kernel (a fixed numpy workload timed on
+the same machine) so a committed baseline transfers across runners of
+different speeds: the gated quantity is ``codec seconds / calibration
+seconds``, not raw seconds.
+
+CI usage (see ``bench-regression`` in ``.github/workflows/ci.yml``)::
+
+    PYTHONPATH=src python benchmarks/quick_bench.py \
+        --output BENCH_ci.json \
+        --baseline benchmarks/BENCH_baseline.json \
+        --trace-out bench_trace.jsonl
+
+Exit status is 1 when any codec's normalized compress or decompress
+time regresses more than ``--tolerance`` (default 25%) over the
+baseline, or its compression ratio drops more than 2%. Refresh the
+baseline by running with ``--output benchmarks/BENCH_baseline.json``
+and no ``--baseline``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.compressors import SZCompressor, ZFPCompressor
+from repro.observability import Tracer, use_tracer, write_spans_jsonl
+
+CODECS = {"sz": SZCompressor, "zfp": ZFPCompressor}
+
+#: Compression-ratio drops beyond this fraction fail the gate. Ratios
+#: are deterministic for a fixed input, so the margin only absorbs
+#: platform float differences.
+RATIO_TOLERANCE = 0.02
+
+
+def build_field(edge: int = 96, seed: int = 7) -> np.ndarray:
+    """Smooth-plus-noise field, compressible like the paper's datasets."""
+    rng = np.random.default_rng(seed)
+    base = np.cumsum(rng.normal(size=(edge, edge)), axis=0)
+    return (base / np.sqrt(np.arange(1, edge + 1))[:, None]).astype(
+        np.float64
+    )
+
+
+def calibration_seconds(repeats: int = 5) -> float:
+    """Best-of-N timing of a fixed numpy kernel.
+
+    The kernel mixes elementwise math, a sort and a Python-level loop —
+    all single-threaded — so it tracks the single-core throughput the
+    pure-Python codec loops depend on. Deliberately no matmul: BLAS may
+    multithread it and would make fast many-core runners look
+    disproportionately fast relative to the codecs.
+    """
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(448, 448))
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        b = np.sort(np.abs(a), axis=1)
+        float(np.log1p(b).sum())
+        acc = 0.0
+        for v in b[0].tolist() * 8:
+            acc += v * 0.5
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_codec(name, data, error_bound=1e-3, repeats=3):
+    """Best-of-N compress/decompress wall times plus the ratio."""
+    codec = CODECS[name]()
+    compress_s = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        blob = codec.compress(data, error_bound)
+        compress_s = min(compress_s, time.perf_counter() - t0)
+    decompress_s = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = codec.decompress(blob)
+        decompress_s = min(decompress_s, time.perf_counter() - t0)
+    assert np.max(np.abs(out.reshape(data.shape) - data)) <= error_bound * 1.01
+    return {
+        "compress_s": compress_s,
+        "decompress_s": decompress_s,
+        "ratio": data.nbytes / blob.nbytes,
+    }
+
+
+def compare(current, baseline, tolerance):
+    """Return a list of human-readable regression messages (empty = pass)."""
+    failures = []
+    for codec, cur in current["codecs"].items():
+        base = baseline.get("codecs", {}).get(codec)
+        if base is None:
+            continue
+        for key in ("compress_norm", "decompress_norm"):
+            allowed = base[key] * (1.0 + tolerance)
+            if cur[key] > allowed:
+                failures.append(
+                    f"{codec} {key} regressed: {cur[key]:.3f} > "
+                    f"{base[key]:.3f} * (1 + {tolerance:.0%}) = {allowed:.3f}"
+                )
+        floor = base["ratio"] * (1.0 - RATIO_TOLERANCE)
+        if cur["ratio"] < floor:
+            failures.append(
+                f"{codec} ratio dropped: {cur['ratio']:.3f} < "
+                f"{base['ratio']:.3f} * (1 - {RATIO_TOLERANCE:.0%})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--edge", type=int, default=96,
+                    help="field edge length (edge x edge float64)")
+    ap.add_argument("--error-bound", type=float, default=1e-3)
+    ap.add_argument("--repeats", type=int, default=5,
+                    help="best-of-N timing repeats")
+    ap.add_argument("--output", default=None,
+                    help="write the JSON report here")
+    ap.add_argument("--baseline", default=None,
+                    help="committed baseline JSON to gate against")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional wall-time regression")
+    ap.add_argument("--trace-out", default=None,
+                    help="write a span-tree JSONL of the benchmark run")
+    args = ap.parse_args(argv)
+
+    data = build_field(args.edge)
+    calib = calibration_seconds(args.repeats)
+    print(f"field: {data.shape} float64, {data.nbytes / 1e3:.0f} kB; "
+          f"calibration kernel: {calib * 1e3:.2f} ms")
+
+    tracer = Tracer()
+    report = {"edge": args.edge, "error_bound": args.error_bound,
+              "codecs": {}}
+    with use_tracer(tracer):
+        for name in CODECS:
+            with tracer.span(f"bench.{name}", bytes_in=data.nbytes):
+                res = bench_codec(
+                    name, data, args.error_bound, args.repeats
+                )
+            report["codecs"][name] = res
+    # Re-measure the calibration kernel after the codec runs and keep
+    # the overall best: both sides of the ratio then reflect the same
+    # "machine at its least loaded" moment, which is what best-of-N
+    # codec timing measures too.
+    calib = min(calib, calibration_seconds(args.repeats))
+    report["calibration_s"] = calib
+    for name, res in report["codecs"].items():
+        res["compress_norm"] = res["compress_s"] / calib
+        res["decompress_norm"] = res["decompress_s"] / calib
+        print(f"{name}: compress {res['compress_s'] * 1e3:7.1f} ms "
+              f"({res['compress_norm']:6.1f}x calib), "
+              f"decompress {res['decompress_s'] * 1e3:7.1f} ms "
+              f"({res['decompress_norm']:6.1f}x calib), "
+              f"ratio {res['ratio']:.2f}x")
+
+    if args.trace_out:
+        write_spans_jsonl(args.trace_out, tracer.spans)
+        print(f"trace written to {args.trace_out}")
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.output}")
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        failures = compare(report, baseline, args.tolerance)
+        if failures:
+            for msg in failures:
+                print(f"FAIL: {msg}", file=sys.stderr)
+            return 1
+        print(f"within {args.tolerance:.0%} of baseline "
+              f"{args.baseline}: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

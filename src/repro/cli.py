@@ -50,6 +50,20 @@ def _add_executor_args(p: argparse.ArgumentParser) -> None:
                    help="execution backend for independent slabs")
 
 
+def _add_observability_args(p: argparse.ArgumentParser) -> None:
+    """--trace-out/--metrics-out/--trace-summary artifact knobs.
+
+    Any of these flags switches the process from the no-op tracer to a
+    recording one for the duration of the command.
+    """
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write the run's span tree as JSON lines")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write run metrics in Prometheus text format")
+    p.add_argument("--trace-summary", action="store_true",
+                   help="print an ASCII per-stage summary after the run")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing/docs)."""
     parser = argparse.ArgumentParser(
@@ -76,11 +90,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunk-mb", type=float, default=None,
                    help="bounded-memory slab size; writes a chunked container")
     _add_executor_args(p)
+    _add_observability_args(p)
 
     p = sub.add_parser("decompress", help="decompress to a .npy array")
     p.add_argument("--input", required=True)
     p.add_argument("--output", required=True)
     _add_executor_args(p)
+    _add_observability_args(p)
 
     p = sub.add_parser("characterize",
                        help="run the measurement campaign, save fitted models")
@@ -94,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--curve", choices=("calibrated", "physical"),
                    default="calibrated", help="ground-truth power curve")
+    _add_observability_args(p)
 
     p = sub.add_parser("tune", help="print recommendations from saved models")
     p.add_argument("--models", required=True)
@@ -114,6 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunk-mb", type=float, default=None,
                    help="shard the ratio measurement into slabs of this size")
     _add_executor_args(p)
+    _add_observability_args(p)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name", choices=_EXPERIMENTS)
@@ -138,6 +156,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--interval-s", type=float, default=3600.0)
     p.add_argument("--error-bound", type=float, default=1e-2)
     p.add_argument("--scale", type=int, default=16)
+    p.add_argument("--chunk-mb", type=float, default=None,
+                   help="shard each snapshot's ratio measurement into slabs "
+                        "of this size (traces then show chunk/slab stages)")
+    _add_executor_args(p)
+    _add_observability_args(p)
 
     p = sub.add_parser("cluster",
                        help="simulate an N-node dump through a shared NFS")
@@ -146,6 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--per-node-gb", type=float, default=64.0)
     p.add_argument("--error-bound", type=float, default=1e-2)
     p.add_argument("--scale", type=int, default=16)
+    _add_observability_args(p)
 
     return parser
 
@@ -434,11 +458,16 @@ def _cmd_campaign(args) -> int:
         n_snapshots=args.snapshots,
         compute_interval_s=args.interval_s,
     )
-    base = run_campaign(node, SZCompressor(), arr, args.error_bound, campaign)
+    chunk_bytes = None if args.chunk_mb is None else int(args.chunk_mb * 1e6)
+    base = run_campaign(
+        node, SZCompressor(), arr, args.error_bound, campaign,
+        chunk_bytes=chunk_bytes, executor=args.executor, workers=args.workers,
+    )
     tuned = run_campaign(
         node, SZCompressor(), arr, args.error_bound, campaign,
         compress_freq_ghz=cpu.snap_frequency(0.875 * cpu.fmax_ghz),
         write_freq_ghz=cpu.snap_frequency(0.85 * cpu.fmax_ghz),
+        chunk_bytes=chunk_bytes, executor=args.executor, workers=args.workers,
     )
     print(f"{args.snapshots} snapshots x {args.snapshot_gb:g} GB on {args.arch} "
           f"(eb {args.error_bound:g}):")
@@ -494,14 +523,51 @@ _HANDLERS = {
 }
 
 
+def _export_observability(args, tracer) -> None:
+    """Write/print the artifacts requested by the observability flags."""
+    from repro.observability import (
+        get_registry,
+        trace_summary,
+        write_metrics_prom,
+        write_spans_jsonl,
+    )
+
+    if args.trace_out:
+        write_spans_jsonl(args.trace_out, tracer.spans)
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
+    if args.metrics_out:
+        write_metrics_prom(args.metrics_out, get_registry())
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    if args.trace_summary:
+        print("\n" + trace_summary(tracer.spans))
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    tracer = None
+    if (
+        getattr(args, "trace_out", None)
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "trace_summary", False)
+    ):
+        from repro.observability import Tracer, set_tracer
+
+        tracer = Tracer()
+        set_tracer(tracer)
     try:
         return _HANDLERS[args.command](args)
     except (ValueError, KeyError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if tracer is not None:
+            from repro.observability import NullTracer, set_tracer
+
+            set_tracer(NullTracer())
+            # Artifacts are written even if the command failed: a trace
+            # of the stages that did run is exactly what debugging needs.
+            _export_observability(args, tracer)
 
 
 if __name__ == "__main__":

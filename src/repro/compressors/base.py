@@ -9,6 +9,7 @@ from typing import Dict, Tuple, Type
 
 import numpy as np
 
+from repro.observability import get_registry, get_tracer
 from repro.utils.validation import as_float_array, check_positive
 
 __all__ = [
@@ -160,14 +161,33 @@ class Compressor(abc.ABC):
             raise CompressionError(f"arrays above 4-D are unsupported, got {arr.ndim}-D")
         if not np.all(np.isfinite(arr)):
             raise CompressionError("data must be finite (no NaN/inf)")
-        payload = self._encode(arr, float(error_bound))
-        return CompressedBuffer(
-            codec=self.name,
-            payload=payload,
-            shape=arr.shape,
-            dtype=arr.dtype,
-            error_bound=float(error_bound),
-        )
+        with get_tracer().span(
+            f"{self.name}.compress", bytes_in=arr.nbytes, error_bound=float(error_bound)
+        ) as sp:
+            payload = self._encode(arr, float(error_bound))
+            buf = CompressedBuffer(
+                codec=self.name,
+                payload=payload,
+                shape=arr.shape,
+                dtype=arr.dtype,
+                error_bound=float(error_bound),
+            )
+            sp.set(bytes_out=buf.nbytes, ratio=buf.ratio)
+        registry = get_registry()
+        labels = {"codec": self.name}
+        registry.counter(
+            "repro_compress_calls_total", labels,
+            help="Compressor.compress invocations",
+        ).inc()
+        registry.counter(
+            "repro_compress_bytes_in_total", labels,
+            help="uncompressed bytes fed to compress()",
+        ).inc(arr.nbytes)
+        registry.counter(
+            "repro_compress_bytes_out_total", labels,
+            help="serialized bytes produced by compress()",
+        ).inc(buf.nbytes)
+        return buf
 
     def decompress(self, buffer: CompressedBuffer) -> np.ndarray:
         """Reconstruct the array from a :class:`CompressedBuffer`."""
@@ -175,10 +195,19 @@ class Compressor(abc.ABC):
             raise CorruptStreamError(
                 f"buffer was produced by codec {buffer.codec!r}, not {self.name!r}"
             )
-        out = self._decode(
-            buffer.payload, buffer.shape, buffer.dtype, buffer.error_bound
-        )
-        return out.reshape(buffer.shape).astype(buffer.dtype, copy=False)
+        with get_tracer().span(
+            f"{self.name}.decompress", bytes_in=buffer.nbytes
+        ) as sp:
+            out = self._decode(
+                buffer.payload, buffer.shape, buffer.dtype, buffer.error_bound
+            )
+            out = out.reshape(buffer.shape).astype(buffer.dtype, copy=False)
+            sp.set(bytes_out=out.nbytes)
+        get_registry().counter(
+            "repro_decompress_calls_total", {"codec": self.name},
+            help="Compressor.decompress invocations",
+        ).inc()
+        return out
 
     def roundtrip(self, data, error_bound: float):
         """Compress then decompress; returns ``(buffer, reconstruction)``."""

@@ -32,6 +32,7 @@ from repro.compressors.base import (
     CorruptStreamError,
     get_compressor,
 )
+from repro.observability import get_registry, get_tracer
 from repro.parallel import (
     CODEC_COST,
     Executor,
@@ -176,9 +177,14 @@ class ChunkedCompressor:
         for lo in range(0, arr.shape[0], rows):
             yield arr[lo : lo + rows]
 
-    def _run(self, fn, items, bytes_in, bytes_out_of):
+    def _run(self, op, fn, items, bytes_in, bytes_out_of):
         """Map *fn* over *items* through the configured executor and
-        record a :class:`ParallelStats` on ``last_stats``."""
+        record a :class:`ParallelStats` on ``last_stats``.
+
+        The map runs inside a ``chunk.<op>`` span with one
+        ``chunk.slab`` child per task; slab-time and byte totals land
+        in the process metrics registry.
+        """
         executor, owned = resolve_executor(
             self.executor,
             self.workers,
@@ -186,27 +192,56 @@ class ChunkedCompressor:
             task_nbytes=max(bytes_in) if bytes_in else 0,
             codec_cost=CODEC_COST.get(self.codec.name, 4.0),
         )
-        t0 = time.perf_counter()
-        try:
-            results, times = executor.map_timed(fn, items)
-        finally:
-            if owned:
-                executor.close()
-        wall = time.perf_counter() - t0
-        self.last_stats = ParallelStats(
-            executor=executor.name,
-            workers=executor.workers,
-            wall_s=wall,
-            tasks=tuple(
-                TaskStat(
-                    index=i,
-                    wall_s=times[i],
-                    bytes_in=bytes_in[i],
-                    bytes_out=bytes_out_of(results[i]),
-                )
-                for i in range(len(results))
-            ),
+        tracer = get_tracer()
+        with tracer.span(
+            f"chunk.{op}",
+            codec=self.codec.name,
+            slabs=len(items),
+            bytes_in=sum(bytes_in),
+        ) as sp:
+            t0 = time.perf_counter()
+            try:
+                results, times = executor.map_timed(fn, items)
+            finally:
+                if owned:
+                    executor.close()
+            wall = time.perf_counter() - t0
+            self.last_stats = ParallelStats(
+                executor=executor.name,
+                workers=executor.workers,
+                wall_s=wall,
+                tasks=tuple(
+                    TaskStat(
+                        index=i,
+                        wall_s=times[i],
+                        bytes_in=bytes_in[i],
+                        bytes_out=bytes_out_of(results[i]),
+                    )
+                    for i in range(len(results))
+                ),
+            )
+            self.last_stats.record_spans(tracer, name="chunk.slab")
+            sp.set(
+                executor=executor.name,
+                workers=executor.workers,
+                concurrency=self.last_stats.concurrency,
+            )
+        registry = get_registry()
+        labels = {"codec": self.codec.name, "op": op}
+        registry.counter(
+            "repro_chunk_slabs_total", labels,
+            help="slabs processed by ChunkedCompressor",
+        ).inc(len(items))
+        registry.counter(
+            "repro_chunk_bytes_in_total", labels,
+            help="bytes fed to ChunkedCompressor slab maps",
+        ).inc(sum(bytes_in))
+        slab_seconds = registry.histogram(
+            "repro_chunk_slab_seconds", labels=labels,
+            help="per-slab in-worker wall time",
         )
+        for t in times:
+            slab_seconds.observe(t)
         return results
 
     def compress(self, data, error_bound: float) -> ChunkedBuffer:
@@ -219,6 +254,7 @@ class ChunkedCompressor:
         arr = as_float_array(data, "data")
         slabs = list(self._slabs(arr))
         chunks = self._run(
+            "compress",
             partial(_compress_slab, self.codec, float(error_bound)),
             slabs,
             bytes_in=[s.nbytes for s in slabs],
@@ -231,6 +267,7 @@ class ChunkedCompressor:
         if not container.chunks:
             raise CorruptStreamError("container holds no chunks")
         parts = self._run(
+            "decompress",
             partial(_decompress_chunk, self.codec),
             list(container.chunks),
             bytes_in=[c.nbytes for c in container.chunks],

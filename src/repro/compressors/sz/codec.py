@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.compressors.base import Compressor, CorruptStreamError, register_compressor
 from repro.compressors.huffman import HuffmanCodec
+from repro.observability import get_tracer
 from repro.compressors.sz import regression as _regression
 from repro.compressors.sz.predictor import lorenzo_reconstruct, lorenzo_residual
 from repro.compressors.sz.quantizer import GridQuantizer
@@ -110,6 +111,10 @@ class SZCompressor(Compressor):
     # ------------------------------------------------------------------
 
     def _encode_int_stream(self, writer: BitWriter, values: np.ndarray) -> None:
+        with get_tracer().span("sz.huffman", symbols=int(np.size(values))):
+            self._encode_int_stream_inner(writer, values)
+
+    def _encode_int_stream_inner(self, writer: BitWriter, values: np.ndarray) -> None:
         values = np.asarray(values, dtype=np.int64).ravel()
         distinct, counts = np.unique(values, return_counts=True)
         if distinct.size > self.max_alphabet - 1:
@@ -178,14 +183,19 @@ class SZCompressor(Compressor):
             writer.write_uint(int(mid.view(np.uint64)), 64)
             return self._finish(writer)
 
-        plan = quantizer.plan(data)
-        if not plan.feasible:
+        with get_tracer().span("sz.quantize", bytes_in=data.nbytes) as sp:
+            plan = quantizer.plan(data)
+            sp.set(feasible=plan.feasible)
+            indices = quantizer.quantize(data, plan.origin) if plan.feasible else None
+        if indices is None:
             writer = BitWriter()
             self._encode_raw(writer, data)
             return self._finish(writer)
 
-        indices = quantizer.quantize(data, plan.origin)
-        candidates = self._grid_candidates(indices)
+        with get_tracer().span(
+            "sz.predict", predictor=self.predictor, elements=int(indices.size)
+        ):
+            candidates = self._grid_candidates(indices)
         payloads = []
         for predictor_id, residuals, coeffs in candidates:
             writer = BitWriter()
@@ -199,7 +209,10 @@ class SZCompressor(Compressor):
     def _finish(self, writer: BitWriter) -> bytes:
         packed = writer.getvalue()
         header = len(writer).to_bytes(8, "little")
-        return zlib.compress(header + packed, self.zlib_level)
+        with get_tracer().span("sz.lossless", bytes_in=len(packed) + 8) as sp:
+            out = zlib.compress(header + packed, self.zlib_level)
+            sp.set(bytes_out=len(out))
+        return out
 
     def _encode_raw(self, writer: BitWriter, data: np.ndarray) -> None:
         writer.write_uint(_MODE_RAW, 2)

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.compressors.base import Compressor, CorruptStreamError, register_compressor
 from repro.compressors.zfp import fixedpoint as fp
+from repro.observability import get_tracer
 from repro.compressors.zfp.blocks import BlockGrid, partition, unpartition
 from repro.compressors.zfp.embedded import (
     decode_planes,
@@ -114,27 +115,36 @@ class ZFPCompressor(Compressor):
             self._encode_blocks(writer, data, error_bound)
         packed = writer.getvalue()
         header = len(writer).to_bytes(8, "little")
-        return zlib.compress(header + packed, self.zlib_level)
+        with get_tracer().span("zfp.lossless", bytes_in=len(packed) + 8) as sp:
+            out = zlib.compress(header + packed, self.zlib_level)
+            sp.set(bytes_out=len(out))
+        return out
 
     def _encode_blocks(
         self, writer: BitWriter, data: np.ndarray, tolerance: float
     ) -> None:
         writer.write_uint(_MODE_BLOCK, 2)
         precision = fp.precision_for(data.dtype)
-        blocks, grid = partition(np.asarray(data, dtype=np.float64))
-        exponents = fp.block_exponents(blocks)
+        tracer = get_tracer()
+        with tracer.span("zfp.transform", bytes_in=data.nbytes) as sp:
+            blocks, grid = partition(np.asarray(data, dtype=np.float64))
+            exponents = fp.block_exponents(blocks)
 
-        fixed = fp.to_fixed_point(blocks, exponents, precision)
-        coeffs = forward_transform(fixed, grid.ndim)
-        order = sequency_order(grid.ndim)
-        nb = int_to_negabinary(coeffs[:, order])
+            fixed = fp.to_fixed_point(blocks, exponents, precision)
+            coeffs = forward_transform(fixed, grid.ndim)
+            order = sequency_order(grid.ndim)
+            nb = int_to_negabinary(coeffs[:, order])
+            sp.set(blocks=int(grid.nblocks))
 
-        kept, top_plane = self._kept_planes(exponents, tolerance, precision, grid.ndim)
-        biased = (exponents - fp.ZERO_EXPONENT).astype(np.uint64)
-        if np.any(biased >= (1 << 16)):
-            raise ValueError("block exponent out of the 16-bit storage range")
-        writer.write_uint_array(biased, 16)
-        encode_planes(writer, nb, kept, top_plane)
+        with tracer.span("zfp.planes", blocks=int(grid.nblocks)):
+            kept, top_plane = self._kept_planes(
+                exponents, tolerance, precision, grid.ndim
+            )
+            biased = (exponents - fp.ZERO_EXPONENT).astype(np.uint64)
+            if np.any(biased >= (1 << 16)):
+                raise ValueError("block exponent out of the 16-bit storage range")
+            writer.write_uint_array(biased, 16)
+            encode_planes(writer, nb, kept, top_plane)
 
     # ------------------------------------------------------------------
     # Fixed-precision / fixed-rate modes (real ZFP's other two modes)

@@ -37,6 +37,7 @@ from repro.hardware.node import SimulatedNode
 from repro.hardware.workload import WorkloadKind
 from repro.iosim.dumper import DataDumper, DumpReport
 from repro.iosim.nfs import NfsTarget
+from repro.observability import get_tracer
 
 __all__ = ["PipelineOutcome", "TunedIOPipeline"]
 
@@ -84,22 +85,28 @@ class TunedIOPipeline:
         from repro.workflow.sweep import SweepConfig, compression_sweep, transit_sweep
 
         config = config if config is not None else SweepConfig()
-        comp = add_scaled_columns(compression_sweep(self.nodes, config))
-        tran = add_scaled_columns(
-            transit_sweep(self.nodes, config, self.nfs), group_keys=_TRANSIT_GROUP_KEYS
-        )
+        tracer = get_tracer()
+        with tracer.span("pipeline.characterize", nodes=len(self.nodes)):
+            with tracer.span("pipeline.sweep", which="compression"):
+                comp = add_scaled_columns(compression_sweep(self.nodes, config))
+            with tracer.span("pipeline.sweep", which="transit"):
+                tran = add_scaled_columns(
+                    transit_sweep(self.nodes, config, self.nfs),
+                    group_keys=_TRANSIT_GROUP_KEYS,
+                )
 
-        comp_models = fit_partition_models(comp, COMPRESSION_PARTITIONS)
-        tran_models = fit_partition_models(tran, TRANSIT_PARTITIONS)
+            with tracer.span("pipeline.fit"):
+                comp_models = fit_partition_models(comp, COMPRESSION_PARTITIONS)
+                tran_models = fit_partition_models(tran, TRANSIT_PARTITIONS)
 
-        comp_runtime = {
-            arch: fit_runtime_model(f"compress-{arch}", comp.filter(cpu=arch))
-            for arch in comp.unique("cpu")
-        }
-        tran_runtime = {
-            arch: fit_runtime_model(f"write-{arch}", tran.filter(cpu=arch))
-            for arch in tran.unique("cpu")
-        }
+                comp_runtime = {
+                    arch: fit_runtime_model(f"compress-{arch}", comp.filter(cpu=arch))
+                    for arch in comp.unique("cpu")
+                }
+                tran_runtime = {
+                    arch: fit_runtime_model(f"write-{arch}", tran.filter(cpu=arch))
+                    for arch in tran.unique("cpu")
+                }
         return PipelineOutcome(
             compression_samples=comp,
             transit_samples=tran,
@@ -121,29 +128,33 @@ class TunedIOPipeline:
         model-optimal energy frequency is chosen per architecture.
         """
         recs = []
-        for node in self.nodes:
-            arch = node.cpu.arch
-            arch_name = arch.capitalize()
-            comp_power = outcome.compression_models.get(arch_name)
-            tran_power = outcome.transit_models.get(arch_name)
-            if comp_power is None or tran_power is None:
-                raise KeyError(
-                    f"no per-architecture models for {arch!r}; "
-                    "run characterize() with both-architecture sweeps"
+        with get_tracer().span(
+            "pipeline.recommend",
+            policy=type(policy).__name__ if policy is not None else "optimal",
+        ):
+            for node in self.nodes:
+                arch = node.cpu.arch
+                arch_name = arch.capitalize()
+                comp_power = outcome.compression_models.get(arch_name)
+                tran_power = outcome.transit_models.get(arch_name)
+                if comp_power is None or tran_power is None:
+                    raise KeyError(
+                        f"no per-architecture models for {arch!r}; "
+                        "run characterize() with both-architecture sweeps"
+                    )
+                recs.append(
+                    recommend_from_models(
+                        node.cpu, "compress", comp_power,
+                        outcome.compression_runtime[arch], policy,
+                    )
                 )
-            recs.append(
-                recommend_from_models(
-                    node.cpu, "compress", comp_power,
-                    outcome.compression_runtime[arch], policy,
+                recs.append(
+                    recommend_from_models(
+                        node.cpu, "write", tran_power,
+                        outcome.transit_runtime[arch], policy,
+                    )
                 )
-            )
-            recs.append(
-                recommend_from_models(
-                    node.cpu, "write", tran_power,
-                    outcome.transit_runtime[arch], policy,
-                )
-            )
-        outcome.recommendations = tuple(recs)
+            outcome.recommendations = tuple(recs)
         return outcome
 
     # -- step 4: apply ------------------------------------------------------
@@ -186,13 +197,20 @@ class TunedIOPipeline:
             chunk_bytes=chunk_bytes, executor=executor, workers=workers,
         )
 
-        baseline = dumper.dump(codec, sample, error_bound, target_bytes)
-        tuned = dumper.dump(
-            codec,
-            sample,
-            error_bound,
-            target_bytes,
-            compress_freq_ghz=recs["compress"].freq_ghz,
-            write_freq_ghz=recs["write"].freq_ghz,
-        )
+        tracer = get_tracer()
+        with tracer.span(
+            "pipeline.apply", arch=arch, codec=codec.name,
+            target_bytes=int(target_bytes),
+        ):
+            with tracer.span("pipeline.apply.baseline"):
+                baseline = dumper.dump(codec, sample, error_bound, target_bytes)
+            with tracer.span("pipeline.apply.tuned"):
+                tuned = dumper.dump(
+                    codec,
+                    sample,
+                    error_bound,
+                    target_bytes,
+                    compress_freq_ghz=recs["compress"].freq_ghz,
+                    write_freq_ghz=recs["write"].freq_ghz,
+                )
         return compare_reports(baseline, tuned)

@@ -26,6 +26,7 @@ from repro.hardware.node import SimulatedNode
 from repro.hardware.workload import WorkloadKind, compression_workload
 from repro.iosim.nfs import NfsTarget
 from repro.iosim.transit import transit_workload
+from repro.observability import get_registry, get_tracer
 from repro.parallel import Executor, ParallelStats
 from repro.utils.validation import check_positive
 
@@ -136,19 +137,37 @@ class DataDumper:
         if compressor.name not in _KIND_BY_CODEC:
             raise KeyError(f"no workload kind for codec {compressor.name!r}")
 
-        parallel: Optional[ParallelStats] = None
-        if self.chunk_bytes is not None:
-            chunked = ChunkedCompressor(
-                compressor,
-                max_chunk_bytes=self.chunk_bytes,
-                executor=self.executor,
-                workers=self.workers,
+        tracer = get_tracer()
+        with tracer.span(
+            "dump",
+            codec=compressor.name,
+            error_bound=float(error_bound),
+            target_bytes=int(target_bytes),
+        ):
+            return self._dump_traced(
+                compressor, sample_field, error_bound, target_bytes,
+                compress_freq_ghz, write_freq_ghz, tracer,
             )
-            buf = chunked.compress(sample_field, error_bound)
-            parallel = chunked.last_stats
-        else:
-            buf = compressor.compress(sample_field, error_bound)
-        ratio = buf.ratio
+
+    def _dump_traced(
+        self, compressor, sample_field, error_bound, target_bytes,
+        compress_freq_ghz, write_freq_ghz, tracer,
+    ) -> DumpReport:
+        parallel: Optional[ParallelStats] = None
+        with tracer.span("dump.ratio", bytes_in=sample_field.nbytes) as sp:
+            if self.chunk_bytes is not None:
+                chunked = ChunkedCompressor(
+                    compressor,
+                    max_chunk_bytes=self.chunk_bytes,
+                    executor=self.executor,
+                    workers=self.workers,
+                )
+                buf = chunked.compress(sample_field, error_bound)
+                parallel = chunked.last_stats
+            else:
+                buf = compressor.compress(sample_field, error_bound)
+            ratio = buf.ratio
+            sp.set(ratio=ratio)
         compressed_bytes = max(1, int(round(target_bytes / ratio)))
 
         cpu = self.node.cpu
@@ -159,10 +178,34 @@ class DataDumper:
             _KIND_BY_CODEC[compressor.name], target_bytes, error_bound,
             name=f"{compressor.name}-dump",
         )
-        fc_snapped, t_c, e_c = self._run_stage(wl_c, f_c)
+        with tracer.span("dump.compress", bytes_in=int(target_bytes)) as sp:
+            fc_snapped, t_c, e_c = self._run_stage(wl_c, f_c)
+            sp.set(freq_ghz=fc_snapped, modeled_runtime_s=t_c, modeled_energy_j=e_c)
 
         wl_w = transit_workload(compressed_bytes, self.nfs, name="dump-write")
-        fw_snapped, t_w, e_w = self._run_stage(wl_w, f_w)
+        with tracer.span("dump.write", bytes_in=compressed_bytes) as sp:
+            fw_snapped, t_w, e_w = self._run_stage(wl_w, f_w)
+            sp.set(freq_ghz=fw_snapped, modeled_runtime_s=t_w, modeled_energy_j=e_w)
+
+        registry = get_registry()
+        for stage, energy, runtime in (("compress", e_c, t_c), ("write", e_w, t_w)):
+            labels = {"stage": stage}
+            registry.counter(
+                "repro_dump_energy_joules_total", labels,
+                help="modeled energy of dump pipeline stages",
+            ).inc(energy)
+            registry.counter(
+                "repro_dump_runtime_seconds_total", labels,
+                help="modeled runtime of dump pipeline stages",
+            ).inc(runtime)
+        registry.counter(
+            "repro_nfs_write_bytes_total",
+            help="bytes pushed through the modeled NFS write path",
+        ).inc(compressed_bytes)
+        registry.counter(
+            "repro_nfs_write_seconds_total",
+            help="modeled reference-clock seconds spent in NFS writes",
+        ).inc(t_w)
 
         return DumpReport(
             compress=StageReport(

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.observability import get_registry
 from repro.utils.validation import check_nonnegative, check_positive
 
 __all__ = ["NfsTarget"]
@@ -101,4 +102,14 @@ class NfsTarget:
         """Reference-clock wall time to write *nbytes*."""
         if nbytes < 0:
             raise ValueError(f"nbytes must be non-negative, got {nbytes}")
-        return nbytes / self.effective_bandwidth_bps()
+        seconds = nbytes / self.effective_bandwidth_bps()
+        registry = get_registry()
+        registry.counter(
+            "repro_nfs_write_bytes_total",
+            help="bytes pushed through the modeled NFS write path",
+        ).inc(nbytes)
+        registry.counter(
+            "repro_nfs_write_seconds_total",
+            help="modeled reference-clock seconds spent in NFS writes",
+        ).inc(seconds)
+        return seconds

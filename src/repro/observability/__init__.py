@@ -1,0 +1,60 @@
+"""Structured observability: span tracing, metrics, and exporters.
+
+The observability spine of the reproduction. Instrumented modules open
+spans through the process-wide tracer (:func:`get_tracer`, a no-op
+:class:`NullTracer` by default) and accumulate counters/gauges/
+histograms in the process-wide :class:`MetricsRegistry`
+(:func:`get_registry`). The CLI's ``--trace-out``/``--metrics-out``/
+``--trace-summary`` flags install a real :class:`Tracer` and export
+through :mod:`repro.observability.exporters`.
+
+This package is dependency-free (stdlib only) so every layer —
+compressors, parallel, iosim, core, workflow, cli — can import it
+without cycles.
+"""
+
+from repro.observability.exporters import (
+    prometheus_text,
+    span_records,
+    spans_to_jsonl,
+    trace_summary,
+    write_metrics_prom,
+    write_spans_jsonl,
+)
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.observability.tracer import (
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "DEFAULT_BUCKETS",
+    "span_records",
+    "spans_to_jsonl",
+    "write_spans_jsonl",
+    "prometheus_text",
+    "write_metrics_prom",
+    "trace_summary",
+]

@@ -1,0 +1,240 @@
+"""Counters, gauges and fixed-bucket histograms for run-level metrics.
+
+Spans answer "where did *this* run spend its time"; metrics accumulate
+across runs — total bytes pushed through each codec, NFS write seconds,
+slab-time distributions. The model follows Prometheus: a metric has a
+name (``[a-zA-Z_:][a-zA-Z0-9_:]*``), an optional immutable label set,
+and a type-specific value; :mod:`repro.observability.exporters` renders
+the registry in the Prometheus text exposition format.
+
+The default :class:`MetricsRegistry` is process-global
+(:func:`get_registry`) so instrumented modules never need plumbing, and
+resettable so tests start from a clean slate. All mutation goes through
+a per-registry lock — safe under the thread executor (process-pool
+workers mutate their own forked copies, which is the standard
+per-process metrics model).
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+import threading
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "DEFAULT_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets: log-spaced seconds from 1 ms to ~100 s.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+)
+
+Labels = Tuple[Tuple[str, str], ...]
+
+
+def _freeze_labels(labels: Optional[Mapping[str, str]]) -> Labels:
+    if not labels:
+        return ()
+    for key in labels:
+        if not _LABEL_RE.match(key):
+            raise ValueError(f"invalid label name {key!r}")
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Shared name/label/lock plumbing for the three metric types."""
+
+    kind = ""
+
+    def __init__(self, name: str, labels: Labels, help: str = "") -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self._lock = threading.Lock()
+
+    @property
+    def label_suffix(self) -> str:
+        if not self.labels:
+            return ""
+        inner = ",".join(f'{k}="{v}"' for k, v in self.labels)
+        return "{" + inner + "}"
+
+
+class Counter(_Metric):
+    """Monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Labels = (), help: str = "") -> None:
+        super().__init__(name, labels, help)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got increment {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge(_Metric):
+    """Last-write-wins instantaneous value."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Labels = (), help: str = "") -> None:
+        super().__init__(name, labels, help)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram(_Metric):
+    """Fixed-bucket distribution with Prometheus cumulative semantics."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        labels: Labels = (),
+        help: str = "",
+    ) -> None:
+        super().__init__(name, labels, help)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"duplicate bucket bounds in {bounds}")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # trailing slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def cumulative_counts(self) -> Tuple[Tuple[float, int], ...]:
+        """``(upper_bound, cumulative_count)`` pairs ending at +Inf."""
+        with self._lock:
+            counts = list(self._counts)
+        out = []
+        running = 0
+        for bound, n in zip(self.bounds, counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + counts[-1]))
+        return tuple(out)
+
+
+class MetricsRegistry:
+    """Create-or-get factory and container for metrics.
+
+    Asking twice for the same ``(name, labels)`` returns the same
+    object; asking for an existing name with a different metric type
+    raises — a name means one thing for the whole process.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[Tuple[str, Labels], _Metric] = {}
+
+    def _get_or_create(self, cls, name, labels, **kwargs):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        key = (name, _freeze_labels(labels))
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            for (other_name, _), metric in self._metrics.items():
+                if other_name == name and metric.kind != cls.kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as {metric.kind}"
+                    )
+            metric = cls(name, labels=key[1], **kwargs)
+            self._metrics[key] = metric
+            return metric
+
+    def counter(
+        self, name: str, labels: Optional[Mapping[str, str]] = None, help: str = ""
+    ) -> Counter:
+        return self._get_or_create(Counter, name, labels, help=help)
+
+    def gauge(
+        self, name: str, labels: Optional[Mapping[str, str]] = None, help: str = ""
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, labels, help=help)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        labels: Optional[Mapping[str, str]] = None,
+        help: str = "",
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, labels, buckets=buckets, help=help)
+
+    def metrics(self) -> Tuple[_Metric, ...]:
+        """All registered metrics, sorted by (name, labels) for stable export."""
+        with self._lock:
+            return tuple(self._metrics[k] for k in sorted(self._metrics))
+
+    def reset(self) -> None:
+        """Forget every metric (tests; a fresh run wants fresh totals)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry instrumented modules record into."""
+    return _REGISTRY

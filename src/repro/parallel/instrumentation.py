@@ -18,6 +18,10 @@ from typing import Dict, Tuple
 
 __all__ = ["TaskStat", "ParallelStats"]
 
+#: Wall times below this (seconds) are treated as "instant": the clock
+#: resolution makes any ratio against them meaningless.
+_MIN_WALL_S = 1e-9
+
 
 @dataclass(frozen=True)
 class TaskStat:
@@ -53,9 +57,13 @@ class ParallelStats:
 
         Measures how much work overlapped, not how much faster than a
         serial run: under CPU contention the in-worker clocks include
-        time spent waiting for a core.
+        time spent waiting for a core. Empty or near-instant maps have
+        no meaningful overlap, so they report 0.0 rather than a
+        divide-by-zero blow-up.
         """
-        return self.task_seconds / max(self.wall_s, 1e-12)
+        if not self.tasks or self.wall_s < _MIN_WALL_S:
+            return 0.0
+        return self.task_seconds / self.wall_s
 
     @property
     def bytes_in(self) -> int:
@@ -92,3 +100,26 @@ class ParallelStats:
             f"{self.concurrency:.2f}x concurrency, "
             f"{self.throughput_bps / 1e6:.1f} MB/s"
         )
+
+    def record_spans(self, tracer, name: str = "parallel.task") -> None:
+        """Record one span per :class:`TaskStat` on *tracer*.
+
+        The spans attach to whatever span is active on the calling
+        thread, so executor-driven maps show up as children of the
+        stage that ran them. Task wall times were clocked inside the
+        workers; each span ends "now" and stretches back by its task's
+        duration, which preserves durations exactly and overlaps the
+        tasks the way the pool did. No-op under the default
+        :class:`~repro.observability.NullTracer`.
+        """
+        if not getattr(tracer, "enabled", False):
+            return
+        for task in self.tasks:
+            tracer.record_span(
+                name,
+                task.wall_s,
+                index=task.index,
+                executor=self.executor,
+                bytes_in=task.bytes_in,
+                bytes_out=task.bytes_out,
+            )

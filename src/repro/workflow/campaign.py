@@ -23,6 +23,7 @@ from repro.hardware.cpu import CpuSpec
 from repro.hardware.node import SimulatedNode
 from repro.iosim.dumper import DataDumper, DumpReport
 from repro.iosim.nfs import NfsTarget
+from repro.observability import get_registry, get_tracer
 from repro.parallel import Executor, resolve_executor
 from repro.utils.validation import check_nonnegative, check_positive
 
@@ -93,28 +94,53 @@ def run_campaign(
     write_freq_ghz: float | None = None,
     nfs: NfsTarget | None = None,
     repeats: int = 3,
+    chunk_bytes: Optional[int] = None,
+    executor: "Executor | str" = "auto",
+    workers: Optional[int] = None,
 ) -> CampaignReport:
     """Play the campaign through the dump pipeline.
 
     Compute phases run at the base clock (simulations need full speed —
     the paper's premise); only the snapshot dumps are frequency-tuned.
+    With *chunk_bytes* set, each snapshot's ratio measurement shards the
+    sample field through :mod:`repro.parallel` (*executor*/*workers*
+    pick the backend), so traces show the chunk/slab stages.
     """
-    dumper = DataDumper(node, nfs, repeats=repeats)
-    snapshots = tuple(
-        dumper.dump(
-            compressor,
-            sample_field,
-            error_bound,
-            campaign.snapshot_bytes,
-            compress_freq_ghz=compress_freq_ghz,
-            write_freq_ghz=write_freq_ghz,
-        )
-        for _ in range(campaign.n_snapshots)
+    dumper = DataDumper(
+        node, nfs, repeats=repeats,
+        chunk_bytes=chunk_bytes, executor=executor, workers=workers,
     )
+    tracer = get_tracer()
+    with tracer.span(
+        "campaign.run",
+        codec=compressor.name,
+        snapshots=campaign.n_snapshots,
+        snapshot_bytes=campaign.snapshot_bytes,
+    ):
+        snapshots = []
+        for index in range(campaign.n_snapshots):
+            with tracer.span("campaign.snapshot", index=index) as sp:
+                report = dumper.dump(
+                    compressor,
+                    sample_field,
+                    error_bound,
+                    campaign.snapshot_bytes,
+                    compress_freq_ghz=compress_freq_ghz,
+                    write_freq_ghz=write_freq_ghz,
+                )
+                sp.set(
+                    ratio=report.compression_ratio,
+                    modeled_energy_j=report.total_energy_j,
+                )
+            snapshots.append(report)
+    get_registry().counter(
+        "repro_campaign_snapshots_total",
+        help="snapshots dumped by checkpoint campaigns",
+    ).inc(campaign.n_snapshots)
     compute_time = campaign.compute_interval_s * campaign.n_snapshots
     compute_energy = compute_time * campaign.compute_power_w
     return CampaignReport(
-        snapshots=snapshots,
+        snapshots=tuple(snapshots),
         compute_time_s=compute_time,
         compute_energy_j=compute_energy,
     )
@@ -206,9 +232,17 @@ def run_campaign_sweep(
         task_nbytes=sample_field.nbytes * campaign.n_snapshots,
         codec_cost=4.0,
     )
-    try:
-        reports = pool.map(fn, resolved)
-    finally:
-        if owned:
-            pool.close()
+    # Points may fan out to worker processes, whose spans are invisible
+    # here; the sweep-level span still records the fan-out shape.
+    with get_tracer().span(
+        "campaign.sweep",
+        points=len(resolved),
+        executor=pool.name,
+        workers=pool.workers,
+    ):
+        try:
+            reports = pool.map(fn, resolved)
+        finally:
+            if owned:
+                pool.close()
     return tuple(reports)

@@ -1,0 +1,151 @@
+"""MetricsRegistry semantics and thread-safety under the thread executor."""
+
+import pytest
+
+from repro.observability import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.parallel import ThreadExecutor
+
+
+def test_counter_accumulates_and_rejects_negative():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_test_total")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == pytest.approx(3.5)
+    with pytest.raises(ValueError, match="only go up"):
+        c.inc(-1)
+
+
+def test_gauge_set_and_inc():
+    reg = MetricsRegistry()
+    g = reg.gauge("repro_test_gauge")
+    g.set(4.0)
+    g.inc(0.5)
+    assert g.value == pytest.approx(4.5)
+    g.set(-2.0)
+    assert g.value == pytest.approx(-2.0)
+
+
+def test_histogram_bucket_semantics():
+    reg = MetricsRegistry()
+    h = reg.histogram("repro_test_seconds", buckets=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.1, 0.5, 5.0, 50.0):
+        h.observe(v)
+    cumulative = dict(h.cumulative_counts())
+    # le is inclusive (Prometheus semantics): 0.1 counts in its bucket.
+    assert cumulative[0.1] == 2
+    assert cumulative[1.0] == 3
+    assert cumulative[10.0] == 4
+    assert cumulative[float("inf")] == 5
+    assert h.count == 5
+    assert h.sum == pytest.approx(55.65)
+
+
+def test_histogram_rejects_empty_or_duplicate_buckets():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError, match="at least one"):
+        reg.histogram("repro_empty_seconds", buckets=())
+    with pytest.raises(ValueError, match="duplicate"):
+        reg.histogram("repro_dup_seconds", buckets=(1.0, 1.0))
+
+
+def test_create_or_get_returns_same_object():
+    reg = MetricsRegistry()
+    a = reg.counter("repro_same_total", {"codec": "sz"})
+    b = reg.counter("repro_same_total", {"codec": "sz"})
+    c = reg.counter("repro_same_total", {"codec": "zfp"})
+    assert a is b
+    assert a is not c
+
+
+def test_type_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("repro_conflict")
+    with pytest.raises(ValueError, match="already registered as counter"):
+        reg.gauge("repro_conflict")
+    # Also across label sets: one name, one type.
+    with pytest.raises(ValueError, match="already registered as counter"):
+        reg.gauge("repro_conflict", {"codec": "sz"})
+
+
+def test_invalid_names_rejected():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError, match="invalid metric name"):
+        reg.counter("9starts_with_digit")
+    with pytest.raises(ValueError, match="invalid label name"):
+        reg.counter("repro_ok_total", {"bad-label": "x"})
+
+
+def test_reset_clears_registry():
+    reg = MetricsRegistry()
+    reg.counter("repro_gone_total").inc(7)
+    reg.reset()
+    assert reg.metrics() == ()
+    assert reg.counter("repro_gone_total").value == 0.0
+
+
+def test_global_registry_is_process_wide_and_resettable():
+    reg = get_registry()
+    assert reg is get_registry()
+    reg.counter("repro_global_probe_total").inc()
+    assert any(m.name == "repro_global_probe_total" for m in reg.metrics())
+    reg.reset()
+    assert not any(m.name == "repro_global_probe_total" for m in reg.metrics())
+
+
+def test_default_buckets_sorted_unique():
+    assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
+
+
+def test_metric_kinds():
+    reg = MetricsRegistry()
+    assert isinstance(reg.counter("repro_k_total"), Counter)
+    assert isinstance(reg.gauge("repro_k_gauge"), Gauge)
+    assert isinstance(reg.histogram("repro_k_seconds"), Histogram)
+
+
+def test_thread_safety_under_thread_executor():
+    """Concurrent inc/observe through the repo's own thread executor
+    must lose no updates."""
+    reg = MetricsRegistry()
+    counter = reg.counter("repro_threaded_total")
+    hist = reg.histogram("repro_threaded_seconds", buckets=(0.5, 1.5))
+    per_task = 500
+
+    def task(seed):
+        for i in range(per_task):
+            counter.inc()
+            hist.observe((seed + i) % 2)  # alternates buckets
+        return seed
+
+    n_tasks = 16
+    with ThreadExecutor(workers=8) as pool:
+        results = pool.map(task, list(range(n_tasks)))
+    assert results == list(range(n_tasks))
+    assert counter.value == n_tasks * per_task
+    assert hist.count == n_tasks * per_task
+    cumulative = dict(hist.cumulative_counts())
+    assert cumulative[0.5] == n_tasks * per_task // 2
+    assert cumulative[float("inf")] == n_tasks * per_task
+
+
+def test_concurrent_create_or_get_race():
+    """Racing create-or-get for the same name returns one object."""
+    reg = MetricsRegistry()
+
+    def task(i):
+        c = reg.counter("repro_race_total")
+        c.inc()
+        return id(c)
+
+    with ThreadExecutor(workers=8) as pool:
+        ids = pool.map(task, list(range(64)))
+    assert len(set(ids)) == 1
+    assert reg.counter("repro_race_total").value == 64

@@ -1,0 +1,200 @@
+"""Span-tree correctness: nesting, timing, exception safety, threading."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.compressors import SZCompressor, ZFPCompressor
+from repro.observability import (
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+
+def test_default_tracer_is_null():
+    tracer = get_tracer()
+    assert isinstance(tracer, NullTracer)
+    assert tracer.enabled is False
+    assert tracer.spans == ()
+
+
+def test_null_tracer_span_is_reusable_noop():
+    tracer = NullTracer()
+    with tracer.span("anything", bytes_in=3) as sp:
+        sp.set(bytes_out=4)
+    with tracer.span("again") as sp2:
+        assert sp2 is sp  # one shared no-op object
+    assert tracer.spans == ()
+
+
+def test_span_nesting_structure():
+    tracer = Tracer()
+    with tracer.span("root") as root:
+        with tracer.span("a"):
+            with tracer.span("a.1"):
+                pass
+        with tracer.span("b"):
+            pass
+    assert tracer.spans == (root,)
+    assert [c.name for c in root.children] == ["a", "b"]
+    assert [c.name for c in root.children[0].children] == ["a.1"]
+    names = [name for name, _ in
+             [(sp.name, d) for sp, d in root.walk()]]
+    assert names == ["root", "a", "a.1", "b"]
+
+
+def test_span_timing_monotonic_and_contained():
+    tracer = Tracer()
+    with tracer.span("outer"):
+        time.sleep(0.002)
+        with tracer.span("inner"):
+            time.sleep(0.002)
+        time.sleep(0.002)
+    outer = tracer.spans[0]
+    inner = outer.children[0]
+    assert outer.end_s >= outer.start_s
+    assert inner.end_s >= inner.start_s
+    # The child's interval nests inside the parent's.
+    assert outer.start_s <= inner.start_s
+    assert inner.end_s <= outer.end_s
+    assert inner.duration_s <= outer.duration_s
+    assert inner.duration_s >= 0.001
+
+
+def test_span_attributes_at_open_and_late():
+    tracer = Tracer()
+    with tracer.span("s", bytes_in=128) as sp:
+        sp.set(bytes_out=64, ratio=2.0)
+    span = tracer.spans[0]
+    assert span.attrs == {"bytes_in": 128, "bytes_out": 64, "ratio": 2.0}
+
+
+def test_exception_marks_span_failed_but_records_it():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError, match="boom"):
+        with tracer.span("outer"):
+            with tracer.span("fails"):
+                raise RuntimeError("boom")
+    outer = tracer.spans[0]
+    assert outer.status == "error"
+    failed = outer.children[0]
+    assert failed.name == "fails"
+    assert failed.status == "error"
+    assert failed.attrs["error"] == "RuntimeError: boom"
+    assert failed.end_s >= failed.start_s
+    # A new span after the failure starts a fresh, clean root.
+    with tracer.span("after"):
+        pass
+    assert [s.name for s in tracer.spans] == ["outer", "after"]
+    assert tracer.spans[1].status == "ok"
+
+
+def test_record_span_preserves_duration_and_parent():
+    tracer = Tracer()
+    with tracer.span("map"):
+        tracer.record_span("task", 0.25, index=0, bytes_in=10)
+        tracer.record_span("task", 0.5, index=1, bytes_in=20)
+    root = tracer.spans[0]
+    assert [c.name for c in root.children] == ["task", "task"]
+    assert root.children[0].duration_s == pytest.approx(0.25)
+    assert root.children[1].duration_s == pytest.approx(0.5)
+    assert root.children[1].attrs["index"] == 1
+    # Start is back-dated from "now" so the duration is exact.
+    for child in root.children:
+        assert child.end_s - child.start_s == pytest.approx(
+            child.duration_s
+        )
+
+
+def test_threads_get_independent_stacks():
+    tracer = Tracer()
+    errors = []
+
+    def worker(tag):
+        try:
+            with tracer.span(f"thread-{tag}"):
+                time.sleep(0.005)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    with tracer.span("main-root"):
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    assert not errors
+    names = sorted(s.name for s in tracer.spans)
+    # Worker spans had empty stacks on their threads, so they are roots;
+    # the main-thread root is unaffected by them.
+    assert names == ["main-root"] + [f"thread-{i}" for i in range(4)]
+    assert all(not s.children for s in tracer.spans if s.name != "main-root")
+
+
+def test_reset_drops_roots():
+    tracer = Tracer()
+    with tracer.span("x"):
+        pass
+    assert len(tracer.spans) == 1
+    tracer.reset()
+    assert tracer.spans == ()
+
+
+def test_use_tracer_restores_previous():
+    before = get_tracer()
+    tracer = Tracer()
+    with use_tracer(tracer) as active:
+        assert get_tracer() is tracer is active
+    assert get_tracer() is before
+
+
+def test_set_tracer_returns_old():
+    old = set_tracer(Tracer())
+    try:
+        assert isinstance(old, (Tracer, NullTracer))
+    finally:
+        set_tracer(old)
+
+
+@pytest.mark.parametrize("codec_cls, stages", [
+    (SZCompressor, {"sz.quantize", "sz.predict", "sz.huffman", "sz.lossless"}),
+    (ZFPCompressor, {"zfp.transform", "zfp.planes", "zfp.lossless"}),
+])
+def test_codec_compress_emits_stage_spans(codec_cls, stages):
+    rng = np.random.default_rng(0)
+    data = np.cumsum(rng.normal(size=(32, 32)), axis=0)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        codec_cls().compress(data, 1e-3)
+    roots = tracer.spans
+    assert len(roots) == 1
+    root = roots[0]
+    assert root.name == f"{codec_cls.name}.compress"
+    assert root.attrs["bytes_in"] == data.nbytes
+    assert root.attrs["bytes_out"] > 0
+    seen = {sp.name for sp, _ in root.walk()}
+    assert stages <= seen
+
+
+def test_decompress_emits_span():
+    rng = np.random.default_rng(1)
+    data = rng.normal(size=(16, 16))
+    codec = SZCompressor()
+    buf = codec.compress(data, 1e-3)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        codec.decompress(buf)
+    assert tracer.spans[0].name == "sz.decompress"
+    assert tracer.spans[0].attrs["bytes_out"] == data.nbytes
+
+
+def test_span_walk_depths():
+    sp = Span(name="r", start_s=0.0, end_s=1.0)
+    sp.children.append(Span(name="c", start_s=0.1, end_s=0.5))
+    assert [(s.name, d) for s, d in sp.walk()] == [("r", 0), ("c", 1)]

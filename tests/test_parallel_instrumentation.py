@@ -1,0 +1,70 @@
+"""ParallelStats summary math, including degenerate wall-time guards."""
+
+import pytest
+
+from repro.observability import NullTracer, Tracer
+from repro.parallel import ParallelStats, TaskStat
+
+
+def _stats(wall_s, tasks):
+    return ParallelStats(
+        executor="thread", workers=2, wall_s=wall_s, tasks=tuple(tasks)
+    )
+
+
+def test_concurrency_normal_case():
+    stats = _stats(1.0, [TaskStat(0, 0.6), TaskStat(1, 0.8)])
+    assert stats.concurrency == pytest.approx(1.4)
+
+
+def test_concurrency_empty_tasks_is_zero():
+    stats = _stats(0.0, [])
+    assert stats.concurrency == 0.0
+
+
+def test_concurrency_zero_wall_is_zero_not_inf():
+    stats = _stats(0.0, [TaskStat(0, 0.5)])
+    assert stats.concurrency == 0.0
+
+
+def test_concurrency_near_zero_wall_is_zero():
+    stats = _stats(1e-12, [TaskStat(0, 0.5)])
+    assert stats.concurrency == 0.0
+
+
+def test_as_row_and_summary_survive_zero_wall():
+    stats = _stats(0.0, [TaskStat(0, 0.5, bytes_in=100, bytes_out=50)])
+    row = stats.as_row()
+    assert row["concurrency"] == 0.0
+    assert "inf" not in stats.summary()
+
+
+def test_byte_totals():
+    stats = _stats(
+        1.0,
+        [TaskStat(0, 0.1, bytes_in=10, bytes_out=4),
+         TaskStat(1, 0.1, bytes_in=30, bytes_out=6)],
+    )
+    assert stats.bytes_in == 40
+    assert stats.bytes_out == 10
+    assert stats.throughput_bps == pytest.approx(40.0)
+
+
+def test_record_spans_noop_on_null_tracer():
+    stats = _stats(1.0, [TaskStat(0, 0.5)])
+    stats.record_spans(NullTracer())  # must not raise, records nothing
+
+
+def test_record_spans_emits_one_span_per_task():
+    stats = _stats(
+        1.0,
+        [TaskStat(0, 0.25, bytes_in=10), TaskStat(1, 0.5, bytes_in=20)],
+    )
+    tracer = Tracer()
+    with tracer.span("map"):
+        stats.record_spans(tracer, name="chunk.slab")
+    root = tracer.spans[0]
+    assert [c.name for c in root.children] == ["chunk.slab", "chunk.slab"]
+    assert root.children[0].duration_s == pytest.approx(0.25)
+    assert root.children[1].attrs["bytes_in"] == 20
+    assert root.children[1].attrs["executor"] == "thread"
