@@ -12,6 +12,7 @@ decompress  reconstruct a ``.npy`` array from a compressed file
 characterize  run the measurement campaign and save fitted models
 tune        print frequency recommendations from a saved model bundle
 dump        simulate a compress-and-dump and report the energy saved
+faults      validate or emit example fault-injection plans
 experiment  regenerate one of the paper's tables/figures
 ========== ==========================================================
 
@@ -48,6 +49,38 @@ def _add_executor_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--executor", default="auto",
                    choices=("auto", "serial", "thread", "process"),
                    help="execution backend for independent slabs")
+
+
+def _check_executor_args(args) -> None:
+    """Reject contradictory executor knobs before any work starts."""
+    workers = getattr(args, "workers", None)
+    if getattr(args, "executor", "auto") == "serial" and workers is not None:
+        raise ValueError(
+            "--workers conflicts with --executor serial "
+            "(the serial backend always runs one worker)"
+        )
+    # Commands that only shard when --chunk-mb is given would otherwise
+    # silently ignore a nonsensical worker count.
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+
+
+def _add_fault_args(p: argparse.ArgumentParser) -> None:
+    """--fault-plan knob for the resilience-capable commands."""
+    p.add_argument("--fault-plan", default=None, metavar="PATH",
+                   help="JSON fault plan to inject (see docs/RESILIENCE.md; "
+                        "validate with 'repro-tool faults validate')")
+
+
+def _load_fault_plan(args):
+    """Load + validate the plan named by --fault-plan (None if absent)."""
+    if getattr(args, "fault_plan", None) is None:
+        return None
+    from repro.resilience import FaultPlan, RecoveryPolicy
+
+    plan = FaultPlan.from_file(args.fault_plan)
+    RecoveryPolicy.from_dict(plan.policy_doc)  # fail fast on bad policies
+    return plan
 
 
 def _add_observability_args(p: argparse.ArgumentParser) -> None:
@@ -131,7 +164,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunk-mb", type=float, default=None,
                    help="shard the ratio measurement into slabs of this size")
     _add_executor_args(p)
+    _add_fault_args(p)
     _add_observability_args(p)
+
+    p = sub.add_parser("faults",
+                       help="inspect and validate fault-injection plans")
+    faults_sub = p.add_subparsers(dest="action", required=True)
+    pv = faults_sub.add_parser("validate", help="check a fault-plan JSON file")
+    pv.add_argument("plan", help="path to the fault-plan JSON file")
+    pe = faults_sub.add_parser("example", help="print an example fault plan")
+    pe.add_argument("--output", default=None,
+                    help="write the example plan here instead of stdout")
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name", choices=_EXPERIMENTS)
@@ -160,6 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shard each snapshot's ratio measurement into slabs "
                         "of this size (traces then show chunk/slab stages)")
     _add_executor_args(p)
+    _add_fault_args(p)
     _add_observability_args(p)
 
     p = sub.add_parser("cluster",
@@ -209,6 +253,7 @@ def _cmd_generate(args) -> int:
 def _cmd_compress(args) -> int:
     from repro.compressors import ChunkedCompressor, get_compressor
 
+    _check_executor_args(args)
     arr = np.load(args.input)
     chunk_mb = args.chunk_mb
     # A worker request implies slab sharding; default to 64 MB slabs.
@@ -238,6 +283,7 @@ def _cmd_compress(args) -> int:
 def _cmd_decompress(args) -> int:
     from repro.compressors import ChunkedBuffer, ChunkedCompressor, CompressedBuffer, get_compressor
 
+    _check_executor_args(args)
     with open(args.input, "rb") as fh:
         blob = fh.read()
     if blob[:4] == b"RPCK":
@@ -365,6 +411,7 @@ def _cmd_dump(args) -> int:
     from repro.hardware.workload import WorkloadKind
     from repro.iosim.dumper import DataDumper
 
+    _check_executor_args(args)
     bundle = ModelBundle.load(args.models)
     cpu = get_cpu(args.arch)
     node = SimulatedNode(cpu, seed=0)
@@ -376,12 +423,14 @@ def _cmd_dump(args) -> int:
     arr = load_field(args.dataset, args.field, scale=args.scale)
     codec = get_compressor(args.codec)
     target = int(args.target_gb * 1e9)
+    plan = _load_fault_plan(args)
 
-    base = dumper.dump(codec, arr, args.error_bound, target)
+    base = dumper.dump(codec, arr, args.error_bound, target, fault_plan=plan)
     tuned = dumper.dump(
         codec, arr, args.error_bound, target,
         compress_freq_ghz=PAPER_POLICY.frequency_for(cpu, WorkloadKind.COMPRESS_SZ),
         write_freq_ghz=PAPER_POLICY.frequency_for(cpu, WorkloadKind.WRITE),
+        fault_plan=plan,
     )
     saved = base.total_energy_j - tuned.total_energy_j
     print(f"{args.target_gb:g} GB {args.codec} dump on {args.arch} "
@@ -394,6 +443,14 @@ def _cmd_dump(args) -> int:
           f"({saved / base.total_energy_j:+.1%})")
     if base.parallel is not None:
         print(f"  slab exec  : {base.parallel.summary()}")
+    for label, rep in (("base", base), ("tuned", tuned)):
+        res = rep.resilience
+        if res is not None:
+            print(f"  resilience ({label}) : {res.attempts} attempts, "
+                  f"{res.retries} retries, "
+                  f"overhead {res.energy_overhead_j / 1e3:.2f} kJ, "
+                  f"failover {'yes' if res.failover else 'no'}, "
+                  f"lost {'yes' if res.lost else 'no'}")
     return 0
 
 
@@ -450,6 +507,7 @@ def _cmd_campaign(args) -> int:
     from repro.hardware.node import SimulatedNode
     from repro.workflow.campaign import CheckpointCampaign, run_campaign
 
+    _check_executor_args(args)
     cpu = get_cpu(args.arch)
     node = SimulatedNode(cpu, seed=0)
     arr = load_field("nyx", "velocity_x", scale=args.scale)
@@ -459,15 +517,18 @@ def _cmd_campaign(args) -> int:
         compute_interval_s=args.interval_s,
     )
     chunk_bytes = None if args.chunk_mb is None else int(args.chunk_mb * 1e6)
+    plan = _load_fault_plan(args)
     base = run_campaign(
         node, SZCompressor(), arr, args.error_bound, campaign,
         chunk_bytes=chunk_bytes, executor=args.executor, workers=args.workers,
+        fault_plan=plan,
     )
     tuned = run_campaign(
         node, SZCompressor(), arr, args.error_bound, campaign,
         compress_freq_ghz=cpu.snap_frequency(0.875 * cpu.fmax_ghz),
         write_freq_ghz=cpu.snap_frequency(0.85 * cpu.fmax_ghz),
         chunk_bytes=chunk_bytes, executor=args.executor, workers=args.workers,
+        fault_plan=plan,
     )
     print(f"{args.snapshots} snapshots x {args.snapshot_gb:g} GB on {args.arch} "
           f"(eb {args.error_bound:g}):")
@@ -477,6 +538,39 @@ def _cmd_campaign(args) -> int:
           f"({1 - tuned.io_energy_j / base.io_energy_j:.1%} saved)")
     print(f"  campaign wall penalty  : "
           f"{tuned.total_wall_s / base.total_wall_s - 1:.2%}")
+    if plan is not None:
+        for label, rep in (("base ", base), ("tuned", tuned)):
+            print(f"  resilience, {label}    : "
+                  f"{rep.attempts} attempts for {len(rep.snapshots)} "
+                  f"snapshots, {rep.retried_bytes / 1e9:.2f} GB retried, "
+                  f"overhead {rep.energy_overhead_j / 1e3:.2f} kJ, "
+                  f"{rep.snapshots_lost} lost")
+    return 0
+
+
+def _cmd_faults(args) -> int:
+    from repro.resilience import FaultPlan, RecoveryPolicy, example_plan
+
+    if args.action == "validate":
+        plan = FaultPlan.from_file(args.plan)
+        policy = RecoveryPolicy.from_dict(plan.policy_doc)
+        kinds = ", ".join(plan.kinds()) or "none"
+        print(f"{args.plan}: OK")
+        print(f"  specs   : {len(plan.specs)} ({kinds})")
+        print(f"  seed    : {plan.seed}")
+        print(f"  policy  : retry x{policy.retry.max_attempts}, "
+              f"failover {'on' if policy.failover else 'off'}, "
+              f"retune {'on' if policy.degraded_retune else 'off'}, "
+              f"skip {'on' if policy.skip_on_exhaustion else 'off'}")
+        return 0
+    # action == "example"
+    doc = example_plan().to_json()
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(doc + "\n")
+        print(f"example fault plan written to {args.output}")
+    else:
+        print(doc)
     return 0
 
 
@@ -516,6 +610,7 @@ _HANDLERS = {
     "characterize": _cmd_characterize,
     "tune": _cmd_tune,
     "dump": _cmd_dump,
+    "faults": _cmd_faults,
     "experiment": _cmd_experiment,
     "advise": _cmd_advise,
     "campaign": _cmd_campaign,

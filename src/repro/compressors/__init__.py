@@ -24,7 +24,11 @@ from repro.compressors.metrics import (
 from repro.compressors.sz import SZCompressor
 from repro.compressors.zfp import ZFPCompressor
 from repro.compressors.lossless import LosslessCompressor
-from repro.compressors.chunked import ChunkedBuffer, ChunkedCompressor
+from repro.compressors.chunked import (
+    ChunkedBuffer,
+    ChunkedCompressor,
+    CorruptChunkError,
+)
 
 __all__ = [
     "Compressor",
@@ -44,4 +48,5 @@ __all__ = [
     "LosslessCompressor",
     "ChunkedBuffer",
     "ChunkedCompressor",
+    "CorruptChunkError",
 ]

@@ -20,9 +20,10 @@ from __future__ import annotations
 
 import struct
 import time
+import zlib
 from dataclasses import dataclass
 from functools import partial
-from typing import Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -42,13 +43,27 @@ from repro.parallel import (
 )
 from repro.utils.validation import as_float_array, check_positive
 
-__all__ = ["ChunkedBuffer", "ChunkedCompressor"]
+__all__ = ["ChunkedBuffer", "ChunkedCompressor", "CorruptChunkError"]
 
 _MAGIC = b"RPCK"
 #: magic + ndim byte + chunk-count u32; the shape table adds 8 bytes/dim.
 _FIXED_HEADER_BYTES = len(_MAGIC) + 1 + 4
-#: u64 length prefix in front of every chunk body.
-_CHUNK_PREFIX_BYTES = 8
+#: u64 length prefix + u32 CRC-32 in front of every chunk body. The
+#: checksum is what turns a bit flip in a stored container from a
+#: silently-wrong array into a :class:`CorruptChunkError`.
+_CHUNK_PREFIX_BYTES = 8 + 4
+
+
+class CorruptChunkError(CorruptStreamError):
+    """A chunk body failed its CRC-32 integrity check.
+
+    ``chunk_index`` names the damaged slab so recovery can recompress
+    just that slab instead of the whole container.
+    """
+
+    def __init__(self, chunk_index: int, message: str):
+        super().__init__(message)
+        self.chunk_index = int(chunk_index)
 
 
 @dataclass(frozen=True)
@@ -77,7 +92,7 @@ class ChunkedBuffer:
 
     def to_bytes(self) -> bytes:
         """Container layout: magic, ndim+shape, chunk count, then
-        length-prefixed chunk buffers."""
+        length-and-CRC-prefixed chunk buffers."""
         parts = [
             _MAGIC,
             struct.pack("<B", len(self.shape)),
@@ -86,7 +101,7 @@ class ChunkedBuffer:
         ]
         for chunk in self.chunks:
             blob = chunk.to_bytes()
-            parts.append(struct.pack("<Q", len(blob)))
+            parts.append(struct.pack("<QI", len(blob), zlib.crc32(blob)))
             parts.append(blob)
         return b"".join(parts)
 
@@ -115,14 +130,22 @@ class ChunkedBuffer:
                 f"chunk count {count} exceeds what {len(data)} bytes can hold"
             )
         chunks: List[CompressedBuffer] = []
-        for _ in range(count):
+        for index in range(count):
             if off + _CHUNK_PREFIX_BYTES > len(data):
                 raise CorruptStreamError("container truncated in chunk table")
-            (size,) = struct.unpack_from("<Q", data, off)
+            size, crc = struct.unpack_from("<QI", data, off)
             off += _CHUNK_PREFIX_BYTES
             if off + size > len(data):
                 raise CorruptStreamError("container truncated in chunk body")
-            chunks.append(CompressedBuffer.from_bytes(data[off : off + size]))
+            body = data[off : off + size]
+            actual = zlib.crc32(body)
+            if actual != crc:
+                raise CorruptChunkError(
+                    index,
+                    f"chunk {index} checksum mismatch "
+                    f"(stored {crc:#010x}, computed {actual:#010x})",
+                )
+            chunks.append(CompressedBuffer.from_bytes(body))
             off += size
         return cls(chunks=tuple(chunks), shape=tuple(int(s) for s in shape))
 
@@ -152,6 +175,18 @@ class ChunkedCompressor:
         one pool can serve many calls).
     workers:
         Worker count for pool backends; ``None`` uses the CPU count.
+    retries:
+        Per-slab retry budget. With ``retries > 0`` a crashed slab is
+        re-run (fail-fast cancellation becomes retry-failed-slab via
+        :meth:`repro.parallel.Executor.map_timed_retry`) instead of
+        aborting the whole map; the retried indices land on
+        ``last_stats.retried_tasks``.
+    slab_wrapper:
+        Optional fault-injection hook (see
+        :class:`repro.resilience.CrashingSlabWrapper`): a callable
+        ``wrapper(fn) -> fn'`` where ``fn'`` receives ``(index, slab)``
+        instead of ``slab``. Installed by the resilience engine; must be
+        picklable for the process backend.
     """
 
     def __init__(
@@ -160,14 +195,20 @@ class ChunkedCompressor:
         max_chunk_bytes: int = 1 << 26,
         executor: "Executor | str" = "auto",
         workers: Optional[int] = None,
+        retries: int = 0,
+        slab_wrapper: Optional[Callable] = None,
     ):
         check_positive(max_chunk_bytes, "max_chunk_bytes")
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.codec = get_compressor(codec) if isinstance(codec, str) else codec
         self.max_chunk_bytes = int(max_chunk_bytes)
         self.executor = executor
         self.workers = workers
+        self.retries = int(retries)
+        self.slab_wrapper = slab_wrapper
         #: Timing of the most recent compress/decompress call.
         self.last_stats: Optional[ParallelStats] = None
 
@@ -192,6 +233,11 @@ class ChunkedCompressor:
             task_nbytes=max(bytes_in) if bytes_in else 0,
             codec_cost=CODEC_COST.get(self.codec.name, 4.0),
         )
+        if self.slab_wrapper is not None:
+            # The wrapper targets slabs by index, so feed it (i, item).
+            fn = self.slab_wrapper(fn)
+            items = list(enumerate(items))
+        retried: Tuple[int, ...] = ()
         tracer = get_tracer()
         with tracer.span(
             f"chunk.{op}",
@@ -201,7 +247,12 @@ class ChunkedCompressor:
         ) as sp:
             t0 = time.perf_counter()
             try:
-                results, times = executor.map_timed(fn, items)
+                if self.retries > 0:
+                    results, times, retried = executor.map_timed_retry(
+                        fn, items, retries=self.retries
+                    )
+                else:
+                    results, times = executor.map_timed(fn, items)
             finally:
                 if owned:
                     executor.close()
@@ -219,6 +270,7 @@ class ChunkedCompressor:
                     )
                     for i in range(len(results))
                 ),
+                retried_tasks=retried,
             )
             self.last_stats.record_spans(tracer, name="chunk.slab")
             sp.set(
@@ -242,6 +294,11 @@ class ChunkedCompressor:
         )
         for t in times:
             slab_seconds.observe(t)
+        if retried:
+            registry.counter(
+                "repro_chunk_slab_retries_total", labels,
+                help="slabs re-run after a worker failure",
+            ).inc(len(retried))
         return results
 
     def compress(self, data, error_bound: float) -> ChunkedBuffer:

@@ -173,6 +173,7 @@ class TunedIOPipeline:
         chunk_bytes: Optional[int] = None,
         executor: str = "auto",
         workers: Optional[int] = None,
+        fault_plan=None,
     ) -> SavingsReport:
         """Dump *target_bytes* at base clock and at the tuned frequencies.
 
@@ -181,6 +182,9 @@ class TunedIOPipeline:
         field into slabs executed through :mod:`repro.parallel`
         (*executor*/*workers* select and size the backend); per-slab
         timing is surfaced on each report's ``parallel`` attribute.
+        A *fault_plan* (:class:`~repro.resilience.FaultPlan`) applies to
+        both the baseline and the tuned dump, so the savings comparison
+        stays like-for-like under injected faults.
         """
         node = self._nodes_by_arch.get(arch)
         if node is None:
@@ -203,7 +207,10 @@ class TunedIOPipeline:
             target_bytes=int(target_bytes),
         ):
             with tracer.span("pipeline.apply.baseline"):
-                baseline = dumper.dump(codec, sample, error_bound, target_bytes)
+                baseline = dumper.dump(
+                    codec, sample, error_bound, target_bytes,
+                    fault_plan=fault_plan,
+                )
             with tracer.span("pipeline.apply.tuned"):
                 tuned = dumper.dump(
                     codec,
@@ -212,5 +219,6 @@ class TunedIOPipeline:
                     target_bytes,
                     compress_freq_ghz=recs["compress"].freq_ghz,
                     write_freq_ghz=recs["write"].freq_ghz,
+                    fault_plan=fault_plan,
                 )
         return compare_reports(baseline, tuned)

@@ -15,8 +15,8 @@ tracked alongside the energy numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
@@ -29,6 +29,12 @@ from repro.iosim.transit import transit_workload
 from repro.observability import get_registry, get_tracer
 from repro.parallel import Executor, ParallelStats
 from repro.utils.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.resilience.engine import ResilienceEngine
+    from repro.resilience.faults import FaultPlan
+    from repro.resilience.policies import RecoveryPolicy
+    from repro.resilience.report import SnapshotResilience
 
 __all__ = ["StageReport", "DumpReport", "DataDumper"]
 
@@ -64,14 +70,20 @@ class DumpReport:
     #: Per-slab executor timing of the ratio measurement; ``None`` when
     #: the sample was compressed monolithically.
     parallel: Optional[ParallelStats] = None
+    #: Fault/recovery accounting when the dump ran under a non-empty
+    #: fault plan; ``None`` on clean runs (keeps clean reports
+    #: bit-identical with pre-resilience ones).
+    resilience: Optional["SnapshotResilience"] = None
 
     @property
     def total_energy_j(self) -> float:
-        return self.compress.energy_j + self.write.energy_j
+        extra = self.resilience.energy_overhead_j if self.resilience else 0.0
+        return self.compress.energy_j + self.write.energy_j + extra
 
     @property
     def total_runtime_s(self) -> float:
-        return self.compress.runtime_s + self.write.runtime_s
+        extra = self.resilience.time_overhead_s if self.resilience else 0.0
+        return self.compress.runtime_s + self.write.runtime_s + extra
 
 
 class DataDumper:
@@ -109,6 +121,14 @@ class DataDumper:
         energy = float(np.mean([m.energy_j for m in runs]))
         return runs[0].freq_ghz, runtime, energy
 
+    def _n_slabs(self, sample_field: np.ndarray) -> int:
+        """Slab count :class:`ChunkedCompressor` will produce (mirror of
+        its ``_slabs`` split), needed to size fault targets up front."""
+        nrows = sample_field.shape[0]
+        row_bytes = sample_field.nbytes // nrows if nrows else sample_field.nbytes
+        rows = max(1, self.chunk_bytes // max(row_bytes, 1))
+        return len(range(0, nrows, rows))
+
     def dump(
         self,
         compressor: Compressor,
@@ -117,6 +137,9 @@ class DataDumper:
         target_bytes: int,
         compress_freq_ghz: float | None = None,
         write_freq_ghz: float | None = None,
+        fault_plan: Optional["FaultPlan"] = None,
+        policy: Optional["RecoveryPolicy"] = None,
+        snapshot_index: int = 0,
     ) -> DumpReport:
         """Compress *target_bytes* worth of data (character taken from
         *sample_field*) and write the result to the NFS.
@@ -132,10 +155,24 @@ class DataDumper:
             Full-experiment size (e.g. 512 GB) the costs extrapolate to.
         compress_freq_ghz / write_freq_ghz:
             Per-stage pinned frequencies; ``None`` means base clock.
+        fault_plan / policy:
+            Optional :class:`~repro.resilience.FaultPlan` to inject
+            deterministic faults, recovered per *policy* (plan's policy
+            doc, else defaults). An empty plan takes the exact clean
+            code path, so its report is bit-identical to no plan.
+        snapshot_index:
+            Logical snapshot coordinate for fault triggering (campaigns
+            pass their loop index so each snapshot draws its own faults).
         """
         check_positive(target_bytes, "target_bytes")
         if compressor.name not in _KIND_BY_CODEC:
             raise KeyError(f"no workload kind for codec {compressor.name!r}")
+
+        engine: Optional["ResilienceEngine"] = None
+        if fault_plan is not None and not fault_plan.is_empty:
+            from repro.resilience.engine import ResilienceEngine
+
+            engine = ResilienceEngine(fault_plan, policy)
 
         tracer = get_tracer()
         with tracer.span(
@@ -147,32 +184,65 @@ class DataDumper:
             return self._dump_traced(
                 compressor, sample_field, error_bound, target_bytes,
                 compress_freq_ghz, write_freq_ghz, tracer,
+                engine, int(snapshot_index),
             )
 
     def _dump_traced(
         self, compressor, sample_field, error_bound, target_bytes,
         compress_freq_ghz, write_freq_ghz, tracer,
+        engine=None, snapshot_index=0,
     ) -> DumpReport:
         parallel: Optional[ParallelStats] = None
+        retried_slabs: Tuple[int, ...] = ()
         with tracer.span("dump.ratio", bytes_in=sample_field.nbytes) as sp:
             if self.chunk_bytes is not None:
+                fault_kwargs = {}
+                if engine is not None:
+                    wrapper = engine.injector.slab_wrapper(
+                        snapshot_index, self._n_slabs(sample_field)
+                    )
+                    if wrapper.any_planned:
+                        fault_kwargs = dict(
+                            retries=engine.policy.retry.max_attempts - 1,
+                            slab_wrapper=wrapper,
+                        )
                 chunked = ChunkedCompressor(
                     compressor,
                     max_chunk_bytes=self.chunk_bytes,
                     executor=self.executor,
                     workers=self.workers,
+                    **fault_kwargs,
                 )
                 buf = chunked.compress(sample_field, error_bound)
                 parallel = chunked.last_stats
+                retried_slabs = parallel.retried_tasks if parallel else ()
             else:
                 buf = compressor.compress(sample_field, error_bound)
             ratio = buf.ratio
             sp.set(ratio=ratio)
         compressed_bytes = max(1, int(round(target_bytes / ratio)))
 
+        flipped_chunks: Tuple[int, ...] = ()
+        if engine is not None and hasattr(buf, "chunks"):
+            flipped_chunks = engine.verify_container(buf, snapshot_index)
+
         cpu = self.node.cpu
         f_c = cpu.fmax_ghz if compress_freq_ghz is None else compress_freq_ghz
         f_w = cpu.fmax_ghz if write_freq_ghz is None else write_freq_ghz
+
+        compress_faults = []
+        if engine is not None:
+            cap = engine.injector.compress_frequency_cap(snapshot_index)
+            if cap is not None:
+                from repro.resilience.faults import FaultKind
+
+                engine._count_fault(FaultKind.DVFS_THROTTLE)
+                compress_faults.append(FaultKind.DVFS_THROTTLE.value)
+                # Clamp to the DVFS floor: a thermal event cannot push
+                # the clock below fmin.
+                f_c = min(f_c, cpu.snap_frequency(
+                    max(cap * cpu.fmax_ghz, cpu.fmin_ghz)
+                ))
 
         wl_c = compression_workload(
             _KIND_BY_CODEC[compressor.name], target_bytes, error_bound,
@@ -182,10 +252,27 @@ class DataDumper:
             fc_snapped, t_c, e_c = self._run_stage(wl_c, f_c)
             sp.set(freq_ghz=fc_snapped, modeled_runtime_s=t_c, modeled_energy_j=e_c)
 
-        wl_w = transit_workload(compressed_bytes, self.nfs, name="dump-write")
-        with tracer.span("dump.write", bytes_in=compressed_bytes) as sp:
-            fw_snapped, t_w, e_w = self._run_stage(wl_w, f_w)
-            sp.set(freq_ghz=fw_snapped, modeled_runtime_s=t_w, modeled_energy_j=e_w)
+        resilience: Optional["SnapshotResilience"] = None
+        if engine is None:
+            wl_w = transit_workload(compressed_bytes, self.nfs, name="dump-write")
+            with tracer.span("dump.write", bytes_in=compressed_bytes) as sp:
+                fw_snapped, t_w, e_w = self._run_stage(wl_w, f_w)
+                sp.set(freq_ghz=fw_snapped, modeled_runtime_s=t_w,
+                       modeled_energy_j=e_w)
+            write_stage = "write"
+        else:
+            with tracer.span("dump.write", bytes_in=compressed_bytes) as sp:
+                write_stage, fw_snapped, t_w, e_w, resilience = engine.run_write(
+                    self.node, self.nfs, compressed_bytes, f_w,
+                    snapshot_index, self._run_stage,
+                )
+                sp.set(freq_ghz=fw_snapped, modeled_runtime_s=t_w,
+                       modeled_energy_j=e_w, outcome=write_stage)
+            resilience = self._charge_compress_faults(
+                resilience, buf, sample_field.nbytes, target_bytes,
+                t_c, e_c, retried_slabs, flipped_chunks,
+                tuple(compress_faults), parallel,
+            )
 
         registry = get_registry()
         for stage, energy, runtime in (("compress", e_c, t_c), ("write", e_w, t_w)):
@@ -216,7 +303,7 @@ class DataDumper:
                 energy_j=e_c,
             ),
             write=StageReport(
-                stage="write",
+                stage=write_stage,
                 freq_ghz=fw_snapped,
                 bytes_processed=compressed_bytes,
                 runtime_s=t_w,
@@ -225,4 +312,47 @@ class DataDumper:
             compression_ratio=ratio,
             error_bound=error_bound,
             parallel=parallel,
+            resilience=resilience,
+        )
+
+    def _charge_compress_faults(
+        self, resilience, buf, sample_nbytes, target_bytes,
+        t_c, e_c, retried_slabs, flipped_chunks, compress_faults, parallel,
+    ):
+        """Fold compress-side fault costs into the write-side accounting.
+
+        A crashed slab worker or a corrupted chunk re-runs its slab, so
+        it costs that slab's share of the (extrapolated) compress-stage
+        energy and time on top of the clean run.
+        """
+        energy = 0.0
+        time_s = 0.0
+        nbytes = 0
+        faults = list(compress_faults)
+        for index in retried_slabs:
+            share = (
+                parallel.tasks[index].bytes_in / sample_nbytes
+                if parallel and sample_nbytes else 0.0
+            )
+            energy += share * e_c
+            time_s += share * t_c
+            nbytes += int(round(share * target_bytes))
+            faults.append("worker-crash")
+        for index in flipped_chunks:
+            share = (
+                buf.chunks[index].original_nbytes / sample_nbytes
+                if sample_nbytes else 0.0
+            )
+            energy += share * e_c
+            time_s += share * t_c
+            nbytes += int(round(share * target_bytes))
+            faults.append("bit-flip")
+        if not faults:
+            return resilience
+        return replace(
+            resilience,
+            retried_bytes=resilience.retried_bytes + nbytes,
+            energy_overhead_j=resilience.energy_overhead_j + energy,
+            time_overhead_s=resilience.time_overhead_s + time_s,
+            faults=tuple(faults) + resilience.faults,
         )

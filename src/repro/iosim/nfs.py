@@ -10,10 +10,10 @@ base-clock effective bandwidth into a DVFS-sensitive runtime.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.observability import get_registry
-from repro.utils.validation import check_nonnegative, check_positive
+from repro.utils.validation import check_in_range, check_nonnegative, check_positive
 
 __all__ = ["NfsTarget"]
 
@@ -97,6 +97,25 @@ class NfsTarget:
             )
         share = self.shared_capacity_mbps / concurrent_clients
         return float(min(1.0, share / self.cpu_copy_mbps))
+
+    def degraded(self, bandwidth_factor: float) -> "NfsTarget":
+        """A copy with the server path degraded to *bandwidth_factor*.
+
+        Models a contended/failing server or link: network and disk
+        rates scale down together (the client CPU copy path is local
+        and unaffected). Used by the resilience engine's NFS-slowdown
+        fault; ``factor=1`` returns ``self`` unchanged so a no-op
+        degradation stays bit-identical.
+        """
+        if bandwidth_factor == 1.0:
+            return self
+        check_in_range(bandwidth_factor, 0.0, 1.0, "bandwidth_factor",
+                       inclusive=False)
+        return replace(
+            self,
+            network_gbps=self.network_gbps * bandwidth_factor,
+            disk_mbps=self.disk_mbps * bandwidth_factor,
+        )
 
     def write_time_s(self, nbytes: int) -> float:
         """Reference-clock wall time to write *nbytes*."""

@@ -78,6 +78,48 @@ class _Timed:
         return out, time.perf_counter() - t0
 
 
+class _Failure:
+    """Picklable per-task failure marker used by retrying maps."""
+
+    def __init__(self, exc: BaseException) -> None:
+        self.exc = exc
+
+
+class _Shielded:
+    """Picklable wrapper converting task exceptions into :class:`_Failure`.
+
+    Retrying maps need per-item isolation — one bad slab must not
+    cancel its siblings the way a plain fail-fast map does — so the
+    exception travels back as a value and the retry loop decides.
+    """
+
+    def __init__(self, fn: Callable[[Any], Any]) -> None:
+        self.fn = fn
+
+    def __call__(self, item: Any) -> Any:
+        try:
+            return self.fn(item)
+        except Exception as exc:
+            return _Failure(exc)
+
+
+def _bump_attempt(fn: Callable) -> None:
+    """Advance the ``attempt`` counter of a (possibly wrapped) task fn.
+
+    Fault-injection callables carry an ``attempt`` attribute so a crash
+    planned for attempt 1 clears on the retry. The wrapper chain
+    (:class:`_Shielded`/:class:`_Timed`) is walked via ``.fn``; process
+    pools pickle the callable at submit time, so the bumped value
+    reaches the workers.
+    """
+    inner: Any = fn
+    while inner is not None:
+        if hasattr(inner, "attempt"):
+            inner.attempt += 1
+            return
+        inner = getattr(inner, "fn", None)
+
+
 class Executor(abc.ABC):
     """Maps a function over independent items, preserving order."""
 
@@ -103,6 +145,69 @@ class Executor(abc.ABC):
         """Like :meth:`map`, also returning per-task in-worker seconds."""
         pairs = self.map(_Timed(fn), list(items))
         return [r for r, _ in pairs], tuple(t for _, t in pairs)
+
+    def map_retry(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        retries: int = 1,
+        on_retry: "Callable[[int, BaseException], None] | None" = None,
+    ) -> Tuple[List[Any], Tuple[int, ...]]:
+        """Map with per-item isolation and up to *retries* re-runs.
+
+        Where :meth:`map` is fail-fast (first exception cancels the
+        rest), this runs every item to completion, then re-submits just
+        the failed ones — the recovery mode a crashed slab worker needs.
+        *on_retry* is called with ``(index, exception)`` before each
+        re-run. When an item still fails with its budget exhausted, the
+        earliest-index failure is raised, matching the serial backend's
+        first-failure semantics.
+
+        Returns ``(results, retried_indices)``.
+        """
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        shielded = _Shielded(fn)
+        items = list(items)
+        results = self.map(shielded, items)
+        retried: List[int] = []
+        for _ in range(retries):
+            failed = [i for i, r in enumerate(results) if isinstance(r, _Failure)]
+            if not failed:
+                break
+            for i in failed:
+                if on_retry is not None:
+                    on_retry(i, results[i].exc)
+            retried.extend(i for i in failed if i not in retried)
+            _bump_attempt(shielded)
+            redone = self.map(shielded, [items[i] for i in failed])
+            for i, r in zip(failed, redone):
+                results[i] = r
+        for r in results:
+            if isinstance(r, _Failure):
+                raise r.exc
+        return results, tuple(retried)
+
+    def map_timed_retry(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        retries: int = 1,
+        on_retry: "Callable[[int, BaseException], None] | None" = None,
+    ) -> Tuple[List[Any], Tuple[float, ...], Tuple[int, ...]]:
+        """:meth:`map_retry` + per-task in-worker seconds.
+
+        Retried tasks report the timing of their successful run.
+        Returns ``(results, times, retried_indices)``.
+        """
+        pairs, retried = self.map_retry(
+            _Timed(fn), items, retries=retries, on_retry=on_retry
+        )
+        return (
+            [r for r, _ in pairs],
+            tuple(t for _, t in pairs),
+            retried,
+        )
 
     def close(self) -> None:
         """Release pool resources (no-op for serial)."""
@@ -151,14 +256,28 @@ class _PoolExecutor(Executor):
             return [fn(item) for item in items]
         pool = self._ensure_pool()
         futures = [pool.submit(fn, item) for item in items]
-        _wait(futures, return_when=FIRST_EXCEPTION)
-        # First submission-order failure wins; cancel everything queued.
-        for fut in futures:
-            if fut.done() and not fut.cancelled() and fut.exception() is not None:
-                for pending in futures:
-                    pending.cancel()
-                raise fut.exception()
-        return [fut.result() for fut in futures]
+        done, _ = _wait(futures, return_when=FIRST_EXCEPTION)
+        if any(f.exception() is not None for f in done if not f.cancelled()):
+            # Something failed. Cancel whatever has not started, then
+            # wait for the in-flight tasks so the *earliest-submitted*
+            # failure wins — a pool must report the same exception a
+            # serial loop over the same items would, not whichever
+            # task happened to crash first on the wall clock.
+            for fut in futures:
+                fut.cancel()
+            _wait(futures)
+            for fut in futures:
+                if not fut.cancelled() and fut.exception() is not None:
+                    raise fut.exception()
+        results = []
+        for index, fut in enumerate(futures):
+            if fut.cancelled():  # pragma: no cover - defensive
+                raise RuntimeError(
+                    f"task {index} was cancelled before completion; "
+                    "its result (and any worker error) is unavailable"
+                )
+            results.append(fut.result())
+        return results
 
     def close(self) -> None:
         if self._pool is not None:

@@ -41,6 +41,9 @@ class ParallelStats:
     workers: int
     wall_s: float
     tasks: Tuple[TaskStat, ...]
+    #: Indices of tasks that failed at least once and were re-run
+    #: (populated by retry-enabled maps; empty on clean runs).
+    retried_tasks: Tuple[int, ...] = ()
 
     @property
     def n_tasks(self) -> int:
@@ -90,6 +93,7 @@ class ParallelStats:
             "mb_in": self.bytes_in / 1e6,
             "mb_out": self.bytes_out / 1e6,
             "throughput_mbps": self.throughput_bps / 1e6,
+            "retried": len(self.retried_tasks),
         }
 
     def summary(self) -> str:

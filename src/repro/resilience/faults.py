@@ -1,0 +1,305 @@
+"""Fault models: what can go wrong during a compress-and-dump campaign.
+
+The paper's Eqn. 3 argument assumes every snapshot lands; real campaigns
+lose them to stalled NFS servers, crashed slab workers, flipped bits and
+thermal throttling. A :class:`FaultPlan` is a declarative, *seedable*
+description of such misbehaviour: a list of :class:`FaultSpec` entries,
+each naming a :class:`FaultKind`, a trigger probability and a severity.
+Trigger decisions are keyed purely on ``(seed, spec, snapshot, attempt)``
+— never on wall clock or execution order — so an injected campaign is
+bit-reproducible across the serial, thread and process executors.
+
+Plans serialize to a small JSON document (see ``docs/RESILIENCE.md`` for
+the schema) loadable with :func:`FaultPlan.from_file` and validated by
+the ``repro-tool faults validate`` subcommand.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.utils.validation import check_in_range, check_nonnegative
+
+__all__ = ["FaultKind", "FaultSpec", "FaultPlan", "FaultPlanError", "example_plan"]
+
+
+class FaultPlanError(ValueError):
+    """Raised when a fault-plan document fails validation."""
+
+
+class FaultKind(enum.Enum):
+    """The failure modes the injection plane can model."""
+
+    #: NFS server stops responding for ``stall_s`` seconds, then recovers.
+    NFS_STALL = "nfs-stall"
+    #: NFS bandwidth degrades by ``severity`` (fraction of bandwidth lost).
+    NFS_SLOWDOWN = "nfs-slowdown"
+    #: Write fails after ``severity`` of the bytes moved; retry may succeed.
+    NFS_TRANSIENT_ERROR = "nfs-transient-error"
+    #: Every write attempt to the NFS fails; only failover/skip recovers.
+    NFS_HARD_FAILURE = "nfs-hard-failure"
+    #: A slab worker crashes mid-compress; the slab must be re-run.
+    WORKER_CRASH = "worker-crash"
+    #: A compressed chunk is corrupted in memory/transit; the per-chunk
+    #: checksum must catch it and the slab is recompressed.
+    BIT_FLIP = "bit-flip"
+    #: Thermal/power event caps the core clock at ``severity * fmax``.
+    DVFS_THROTTLE = "dvfs-throttle"
+
+    @property
+    def is_write_fault(self) -> bool:
+        return self in (
+            FaultKind.NFS_STALL,
+            FaultKind.NFS_SLOWDOWN,
+            FaultKind.NFS_TRANSIENT_ERROR,
+            FaultKind.NFS_HARD_FAILURE,
+            FaultKind.DVFS_THROTTLE,
+        )
+
+    @property
+    def is_compress_fault(self) -> bool:
+        return self in (
+            FaultKind.WORKER_CRASH,
+            FaultKind.BIT_FLIP,
+            FaultKind.DVFS_THROTTLE,
+        )
+
+    @property
+    def fails_attempt(self) -> bool:
+        """Does this fault abort the write attempt it fires on?"""
+        return self in (FaultKind.NFS_TRANSIENT_ERROR, FaultKind.NFS_HARD_FAILURE)
+
+
+#: Kinds whose ``severity`` must stay strictly below 1 (a factor, not a
+#: fraction of work wasted).
+_FACTOR_KINDS = (FaultKind.NFS_SLOWDOWN, FaultKind.DVFS_THROTTLE)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault source inside a plan.
+
+    Attributes
+    ----------
+    kind:
+        Which failure mode fires.
+    probability:
+        Per-(snapshot, attempt) trigger probability in ``[0, 1]``;
+        decided by a seeded RNG keyed on the plan seed and the logical
+        coordinates, so it is independent of executor backend.
+    snapshots:
+        Restrict firing to these snapshot indices (``None`` = all).
+    attempts:
+        Fire only on attempt numbers ``<= attempts`` (1-based);
+        ``None`` = every attempt. A transient error with ``attempts=2``
+        clears on the third try.
+    severity:
+        Kind-specific magnitude in ``(0, 1)``/(0, 1]``: fraction of
+        bandwidth lost (slowdown), fraction of the write wasted before
+        the failure surfaced (transient/hard), or the clock cap as a
+        fraction of ``fmax`` (throttle).
+    stall_s:
+        Stall duration for :attr:`FaultKind.NFS_STALL`, seconds.
+    targets:
+        Slab/chunk indices a worker-crash or bit-flip is pinned to
+        (``None`` = pick deterministically from the seed).
+    """
+
+    kind: FaultKind
+    probability: float = 1.0
+    snapshots: Optional[Tuple[int, ...]] = None
+    attempts: Optional[int] = None
+    severity: float = 0.5
+    stall_s: float = 5.0
+    targets: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self):
+        if not isinstance(self.kind, FaultKind):
+            object.__setattr__(self, "kind", FaultKind(self.kind))
+        check_in_range(self.probability, 0.0, 1.0, "probability")
+        if self.kind in _FACTOR_KINDS:
+            check_in_range(self.severity, 0.0, 1.0, "severity", inclusive=False)
+        else:
+            check_in_range(self.severity, 0.0, 1.0, "severity")
+        check_nonnegative(self.stall_s, "stall_s")
+        if self.attempts is not None and self.attempts < 1:
+            raise FaultPlanError(f"attempts must be >= 1, got {self.attempts}")
+        for name in ("snapshots", "targets"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            cleaned = tuple(int(v) for v in value)
+            if any(v < 0 for v in cleaned):
+                raise FaultPlanError(f"{name} indices must be >= 0, got {cleaned}")
+            object.__setattr__(self, name, cleaned)
+
+    def applies_to(self, snapshot: int, attempt: int) -> bool:
+        """Static (non-random) gate: snapshot and attempt in range?"""
+        if self.snapshots is not None and snapshot not in self.snapshots:
+            return False
+        if self.attempts is not None and attempt > self.attempts:
+            return False
+        return True
+
+    def as_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "kind": self.kind.value,
+            "probability": self.probability,
+            "severity": self.severity,
+        }
+        if self.snapshots is not None:
+            doc["snapshots"] = list(self.snapshots)
+        if self.attempts is not None:
+            doc["attempts"] = self.attempts
+        if self.kind is FaultKind.NFS_STALL:
+            doc["stall_s"] = self.stall_s
+        if self.targets is not None:
+            doc["targets"] = list(self.targets)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "FaultSpec":
+        if not isinstance(doc, Mapping):
+            raise FaultPlanError(f"fault entry must be an object, got {type(doc).__name__}")
+        if "kind" not in doc:
+            raise FaultPlanError(f"fault entry missing 'kind': {dict(doc)!r}")
+        known = {
+            "kind", "probability", "snapshots", "attempts",
+            "severity", "stall_s", "targets",
+        }
+        unknown = set(doc) - known
+        if unknown:
+            raise FaultPlanError(
+                f"unknown fault fields {sorted(unknown)}; known: {sorted(known)}"
+            )
+        try:
+            kind = FaultKind(doc["kind"])
+        except ValueError as exc:
+            raise FaultPlanError(
+                f"unknown fault kind {doc['kind']!r}; "
+                f"known: {[k.value for k in FaultKind]}"
+            ) from exc
+        kwargs: Dict[str, Any] = {"kind": kind}
+        for key in ("probability", "severity", "stall_s"):
+            if key in doc:
+                kwargs[key] = float(doc[key])
+        if "attempts" in doc and doc["attempts"] is not None:
+            kwargs["attempts"] = int(doc["attempts"])
+        for key in ("snapshots", "targets"):
+            if key in doc and doc[key] is not None:
+                value = doc[key]
+                if not isinstance(value, Sequence) or isinstance(value, str):
+                    raise FaultPlanError(f"{key} must be a list of indices")
+                kwargs[key] = tuple(int(v) for v in value)
+        try:
+            return cls(**kwargs)
+        except ValueError as exc:
+            raise FaultPlanError(f"invalid fault entry {dict(doc)!r}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seedable collection of fault sources plus recovery settings.
+
+    The optional ``policy`` document is parsed by
+    :func:`repro.resilience.policies.RecoveryPolicy.from_dict`; it rides
+    along here so one JSON file fully describes an injected campaign.
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    policy_doc: Optional[Mapping[str, Any]] = field(default=None, compare=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "specs", tuple(self.specs))
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise FaultPlanError(
+                    f"specs must be FaultSpec instances, got {type(spec).__name__}"
+                )
+
+    @property
+    def is_empty(self) -> bool:
+        """No fault can ever fire (the plan is behaviourally a no-op)."""
+        return all(s.probability == 0.0 for s in self.specs)
+
+    def kinds(self) -> Tuple[str, ...]:
+        return tuple(sorted({s.kind.value for s in self.specs}))
+
+    def as_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "seed": self.seed,
+            "faults": [s.as_dict() for s in self.specs],
+        }
+        if self.policy_doc is not None:
+            doc["policy"] = dict(self.policy_doc)
+        return doc
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "FaultPlan":
+        if not isinstance(doc, Mapping):
+            raise FaultPlanError(
+                f"fault plan must be a JSON object, got {type(doc).__name__}"
+            )
+        unknown = set(doc) - {"seed", "faults", "policy"}
+        if unknown:
+            raise FaultPlanError(
+                f"unknown top-level fields {sorted(unknown)}; "
+                "expected 'seed', 'faults', 'policy'"
+            )
+        faults = doc.get("faults", [])
+        if not isinstance(faults, Sequence) or isinstance(faults, str):
+            raise FaultPlanError("'faults' must be a list of fault entries")
+        policy = doc.get("policy")
+        if policy is not None and not isinstance(policy, Mapping):
+            raise FaultPlanError("'policy' must be an object")
+        return cls(
+            specs=tuple(FaultSpec.from_dict(f) for f in faults),
+            seed=int(doc.get("seed", 0)),
+            policy_doc=dict(policy) if policy is not None else None,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}") from exc
+        return cls.from_dict(doc)
+
+    @classmethod
+    def from_file(cls, path) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        return cls.from_json(text)
+
+    def to_file(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+
+def example_plan() -> FaultPlan:
+    """The documentation example: one of each recoverable misbehaviour."""
+    return FaultPlan(
+        seed=7,
+        specs=(
+            FaultSpec(FaultKind.NFS_TRANSIENT_ERROR, probability=1.0,
+                      snapshots=(0,), attempts=1, severity=0.5),
+            FaultSpec(FaultKind.NFS_SLOWDOWN, probability=0.25, severity=0.4),
+            FaultSpec(FaultKind.NFS_STALL, probability=0.1, stall_s=10.0),
+            FaultSpec(FaultKind.DVFS_THROTTLE, probability=0.1, severity=0.8),
+        ),
+        policy_doc={
+            "retry": {"max_attempts": 4, "backoff_base_s": 1.0,
+                      "backoff_cap_s": 30.0, "jitter": 0.1},
+            "failover": True,
+            "degraded_retune": True,
+            "skip_on_exhaustion": True,
+        },
+    )

@@ -1,0 +1,76 @@
+"""Resilience accounting records attached to dump/campaign reports.
+
+Everything here is a frozen dataclass of plain floats/ints/strings —
+no wall-clock readings — so two runs with the same seeds compare equal
+(``==``) field for field. That property is what the reproducibility
+invariants in ``tests/test_resilience_properties.py`` assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["AttemptRecord", "SnapshotResilience"]
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One write (or failover) attempt of one snapshot."""
+
+    snapshot: int
+    attempt: int
+    stage: str
+    #: ``"ok"``, ``"failed"``, ``"failover"`` or ``"skipped"``.
+    outcome: str
+    faults: Tuple[str, ...] = ()
+    freq_ghz: float = 0.0
+    runtime_s: float = 0.0
+    energy_j: float = 0.0
+    nbytes: int = 0
+
+
+@dataclass(frozen=True)
+class SnapshotResilience:
+    """Fault/recovery outcome of a single snapshot dump.
+
+    ``energy_overhead_j``/``time_overhead_s`` hold everything the faults
+    *added*: wasted partial writes, stall time, backoff waits, slab
+    re-runs and chunk recompressions. The successful attempt's own cost
+    stays in the dump report's stage entries, so
+    ``total = clean total + overhead`` whenever the surviving attempt
+    ran undegraded.
+    """
+
+    snapshot: int
+    attempts: int = 1
+    retried_bytes: int = 0
+    energy_overhead_j: float = 0.0
+    time_overhead_s: float = 0.0
+    faults: Tuple[str, ...] = ()
+    failover: bool = False
+    lost: bool = False
+    records: Tuple[AttemptRecord, ...] = field(default=(), compare=True)
+
+    @property
+    def retries(self) -> int:
+        """Failed attempts that were retried (0 on a clean first try)."""
+        return max(0, self.attempts - 1)
+
+    @property
+    def clean(self) -> bool:
+        """No fault fired for this snapshot."""
+        return not self.faults and self.attempts == 1 and not self.failover
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for table rendering / CSV export."""
+        return {
+            "snapshot": self.snapshot,
+            "attempts": self.attempts,
+            "retried_mb": self.retried_bytes / 1e6,
+            "energy_overhead_j": self.energy_overhead_j,
+            "time_overhead_s": self.time_overhead_s,
+            "faults": ",".join(self.faults) or "-",
+            "failover": self.failover,
+            "lost": self.lost,
+        }

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import partial
-from typing import Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,6 +26,10 @@ from repro.iosim.nfs import NfsTarget
 from repro.observability import get_registry, get_tracer
 from repro.parallel import Executor, resolve_executor
 from repro.utils.validation import check_nonnegative, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.resilience.faults import FaultPlan
+    from repro.resilience.policies import RecoveryPolicy
 
 __all__ = [
     "CheckpointCampaign",
@@ -83,6 +87,36 @@ class CampaignReport:
         """Share of the campaign wall time spent in I/O."""
         return self.io_time_s / self.total_wall_s
 
+    # -- resilience accounting (all zero-ish on clean runs) ----------------
+
+    @property
+    def attempts(self) -> int:
+        """Total write attempts across all snapshots (≥ ``n_snapshots``)."""
+        return sum(
+            s.resilience.attempts if s.resilience else 1 for s in self.snapshots
+        )
+
+    @property
+    def retried_bytes(self) -> int:
+        """Bytes re-processed because an attempt failed or a slab died."""
+        return sum(
+            s.resilience.retried_bytes for s in self.snapshots if s.resilience
+        )
+
+    @property
+    def energy_overhead_j(self) -> float:
+        """Joules burned on failed attempts, stalls, backoff and re-runs."""
+        return float(sum(
+            s.resilience.energy_overhead_j for s in self.snapshots if s.resilience
+        ))
+
+    @property
+    def snapshots_lost(self) -> int:
+        """Snapshots dropped after recovery was exhausted."""
+        return sum(
+            1 for s in self.snapshots if s.resilience and s.resilience.lost
+        )
+
 
 def run_campaign(
     node: SimulatedNode,
@@ -97,6 +131,8 @@ def run_campaign(
     chunk_bytes: Optional[int] = None,
     executor: "Executor | str" = "auto",
     workers: Optional[int] = None,
+    fault_plan: Optional["FaultPlan"] = None,
+    policy: Optional["RecoveryPolicy"] = None,
 ) -> CampaignReport:
     """Play the campaign through the dump pipeline.
 
@@ -104,7 +140,9 @@ def run_campaign(
     the paper's premise); only the snapshot dumps are frequency-tuned.
     With *chunk_bytes* set, each snapshot's ratio measurement shards the
     sample field through :mod:`repro.parallel` (*executor*/*workers*
-    pick the backend), so traces show the chunk/slab stages.
+    pick the backend), so traces show the chunk/slab stages. A
+    *fault_plan* injects its faults per snapshot index; retries,
+    failovers and losses land on the report's resilience properties.
     """
     dumper = DataDumper(
         node, nfs, repeats=repeats,
@@ -127,11 +165,19 @@ def run_campaign(
                     campaign.snapshot_bytes,
                     compress_freq_ghz=compress_freq_ghz,
                     write_freq_ghz=write_freq_ghz,
+                    fault_plan=fault_plan,
+                    policy=policy,
+                    snapshot_index=index,
                 )
                 sp.set(
                     ratio=report.compression_ratio,
                     modeled_energy_j=report.total_energy_j,
                 )
+                if report.resilience is not None:
+                    sp.set(
+                        attempts=report.resilience.attempts,
+                        lost=report.resilience.lost,
+                    )
             snapshots.append(report)
     get_registry().counter(
         "repro_campaign_snapshots_total",
@@ -166,6 +212,7 @@ def _run_campaign_point(
     nfs: Optional[NfsTarget],
     repeats: int,
     seed: int,
+    fault_plan: Optional["FaultPlan"],
     point: CampaignPoint,
 ) -> CampaignReport:
     """Module-level so process-pool workers can pickle the task.
@@ -184,6 +231,7 @@ def _run_campaign_point(
         write_freq_ghz=point.write_freq_ghz,
         nfs=nfs,
         repeats=repeats,
+        fault_plan=fault_plan,
     )
 
 
@@ -198,14 +246,17 @@ def run_campaign_sweep(
     seed: int = 0,
     executor: "Executor | str" = "auto",
     workers: Optional[int] = None,
+    fault_plan: Optional["FaultPlan"] = None,
 ) -> Tuple[CampaignReport, ...]:
     """Play the campaign at every sweep point, points in parallel.
 
     Each point (a :class:`CampaignPoint`, or a bare error bound) runs on
     its own node seeded with *seed*, so a sweep's reports are mutually
-    comparable and byte-identical across executor backends. The sweep
-    fans out through :mod:`repro.parallel` — process pools pay off once
-    the per-point codec work dominates the fork cost.
+    comparable and byte-identical across executor backends (a
+    *fault_plan*'s triggers are keyed on logical coordinates, so faulted
+    sweeps stay backend-identical too). The sweep fans out through
+    :mod:`repro.parallel` — process pools pay off once the per-point
+    codec work dominates the fork cost.
     """
     if not points:
         raise ValueError("points must be non-empty")
@@ -224,6 +275,7 @@ def run_campaign_sweep(
         nfs,
         int(repeats),
         int(seed),
+        fault_plan,
     )
     pool, owned = resolve_executor(
         executor,

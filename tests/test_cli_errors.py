@@ -1,0 +1,146 @@
+"""CLI error paths: bad fault plans, conflicting flags, exit codes.
+
+A CLI that dies with a traceback on a typo'd JSON file is a bug; every
+failure here must exit 1 with a single ``error:`` line — and the
+observability artifacts the user asked for must still be written, since
+a trace of the stages that *did* run is exactly what debugging needs.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.resilience import FaultPlan, example_plan
+
+CAMPAIGN_ARGS = ["campaign", "--snapshots", "1", "--snapshot-gb", "1",
+                 "--scale", "32"]
+
+
+@pytest.fixture()
+def plan_path(tmp_path):
+    path = tmp_path / "plan.json"
+    example_plan().to_file(path)
+    return path
+
+
+class TestFaultsSubcommand:
+    def test_example_prints_valid_plan(self, capsys):
+        assert main(["faults", "example"]) == 0
+        doc = capsys.readouterr().out
+        plan = FaultPlan.from_json(doc)
+        assert plan == example_plan()
+
+    def test_example_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "example.json"
+        assert main(["faults", "example", "--output", str(out)]) == 0
+        assert "written to" in capsys.readouterr().out
+        assert FaultPlan.from_file(out) == example_plan()
+
+    def test_validate_accepts_good_plan(self, plan_path, capsys):
+        assert main(["faults", "validate", str(plan_path)]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "specs" in out and "policy" in out
+
+    def test_validate_rejects_malformed_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        assert main(["faults", "validate", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "not valid JSON" in err
+
+    def test_validate_rejects_unknown_fields(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(
+            {"faults": [{"kind": "nfs-stall", "chaos": True}]}
+        ))
+        assert main(["faults", "validate", str(bad)]) == 1
+        assert "unknown fault fields" in capsys.readouterr().err
+
+    def test_validate_rejects_bad_policy(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(
+            {"faults": [], "policy": {"retry": {"max_retries": 3}}}
+        ))
+        assert main(["faults", "validate", str(bad)]) == 1
+        assert "unknown retry fields" in capsys.readouterr().err
+
+    def test_validate_missing_file_is_error(self, tmp_path, capsys):
+        assert main(["faults", "validate", str(tmp_path / "nope.json")]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestBadPlanOnCommands:
+    def test_campaign_rejects_malformed_plan(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[not a plan]")
+        args = CAMPAIGN_ARGS + ["--fault-plan", str(bad)]
+        assert main(args) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_campaign_rejects_missing_plan_file(self, tmp_path, capsys):
+        args = CAMPAIGN_ARGS + ["--fault-plan", str(tmp_path / "nope.json")]
+        assert main(args) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestConflictingExecutorFlags:
+    def test_campaign_serial_with_workers_conflicts(self, capsys):
+        args = CAMPAIGN_ARGS + ["--executor", "serial", "--workers", "2"]
+        assert main(args) == 1
+        assert "--workers conflicts with --executor serial" \
+            in capsys.readouterr().err
+
+    def test_campaign_rejects_zero_workers_even_unchunked(self, capsys):
+        # Without --chunk-mb the campaign never resolves an executor,
+        # so a bad worker count used to be silently ignored.
+        args = CAMPAIGN_ARGS + ["--workers", "0"]
+        assert main(args) == 1
+        assert "workers must be >= 1" in capsys.readouterr().err
+
+    def test_dump_serial_with_workers_conflicts(self, tmp_path, capsys):
+        # The conflict is rejected before --models is even opened.
+        args = ["dump", "--models", str(tmp_path / "absent.json"),
+                "--executor", "serial", "--workers", "2"]
+        assert main(args) == 1
+        assert "conflicts" in capsys.readouterr().err
+
+
+class TestArtifactsOnFailure:
+    def test_artifacts_written_when_command_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.prom"
+        args = CAMPAIGN_ARGS + [
+            "--fault-plan", str(bad),
+            "--trace-out", str(trace), "--metrics-out", str(metrics),
+        ]
+        assert main(args) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert trace.exists() and metrics.exists()
+        assert "written to" in err
+
+
+class TestFaultedCampaignEndToEnd:
+    def test_hard_failure_plan_reports_resilience(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({
+            "faults": [{"kind": "nfs-hard-failure", "probability": 1.0}],
+            "seed": 7,
+        }))
+        metrics = tmp_path / "metrics.prom"
+        args = CAMPAIGN_ARGS + ["--fault-plan", str(plan),
+                                "--metrics-out", str(metrics)]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "resilience, base " in out and "resilience, tuned" in out
+        assert "0 lost" in out
+        body = metrics.read_text()
+        assert "repro_faults_injected_total" in body
+        assert "repro_failover_total" in body

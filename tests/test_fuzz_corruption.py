@@ -21,6 +21,7 @@ from repro.compressors import (
     ZFPCompressor,
 )
 from repro.compressors.base import CompressedBuffer, CorruptStreamError
+from repro.compressors.chunked import _CHUNK_PREFIX_BYTES, CorruptChunkError
 from repro.data import load_field
 
 #: Exceptions a decoder may raise on corrupt input; anything else is a bug.
@@ -151,8 +152,9 @@ class TestChunkedContainerCorruption:
         cuts = set(range(self._header_bytes(container) + 1))
         off = self._header_bytes(container)
         for chunk in container.chunks:
-            cuts.update((off, off + 4, off + 8))
-            off += 8 + chunk.nbytes
+            cuts.update((off, off + 8, off + _CHUNK_PREFIX_BYTES))
+            off += _CHUNK_PREFIX_BYTES + chunk.nbytes
+        assert off == len(blob)  # the offset walk matches the layout
         cuts.add(len(blob) - 1)
         for cut in sorted(cuts):
             if cut >= len(blob):
@@ -169,8 +171,8 @@ class TestChunkedContainerCorruption:
         targets = list(range(self._header_bytes(container)))
         off = self._header_bytes(container)
         for chunk in container.chunks:
-            targets.extend(range(off, off + 8))
-            off += 8 + chunk.nbytes
+            targets.extend(range(off, off + _CHUNK_PREFIX_BYTES))
+            off += _CHUNK_PREFIX_BYTES + chunk.nbytes
         for pos in targets:
             for bit in range(8):
                 bad = bytearray(blob)
@@ -183,6 +185,56 @@ class TestChunkedContainerCorruption:
                 assert np.array_equal(out, baseline), (
                     f"silent corruption at byte {pos} bit {bit}"
                 )
+
+    def test_every_byte_flip_detected_or_exact(self):
+        # Exhaustive single-bit sweep over a whole (small, lossless)
+        # container: every flipped byte must yield a clean error or the
+        # exact baseline array — never a silently different array.
+        # Flips inside a chunk body must specifically raise
+        # CorruptChunkError naming that chunk, because CRC-32 detects
+        # every single-bit error.
+        arr = np.linspace(-1.0, 1.0, 256).reshape(16, 16)
+        cc = ChunkedCompressor("gzip", max_chunk_bytes=512)
+        container = cc.compress(arr, 1e-3)
+        assert len(container.chunks) >= 3
+        baseline = cc.decompress(container)
+        blob = container.to_bytes()
+
+        body_spans = []
+        off = self._header_bytes(container)
+        for index, chunk in enumerate(container.chunks):
+            start = off + _CHUNK_PREFIX_BYTES
+            body_spans.append((start, start + chunk.nbytes, index))
+            off = start + chunk.nbytes
+        assert off == len(blob)
+
+        def body_index(pos):
+            for start, end, index in body_spans:
+                if start <= pos < end:
+                    return index
+            return None
+
+        for pos in range(len(blob)):
+            bad = bytearray(blob)
+            bad[pos] ^= 1 << (pos % 8)
+            try:
+                out = cc.decompress(ChunkedBuffer.from_bytes(bytes(bad)))
+            except CorruptChunkError as exc:
+                expected = body_index(pos)
+                if expected is not None:
+                    assert exc.chunk_index == expected, pos
+                continue
+            except ALLOWED:
+                assert body_index(pos) is None, (
+                    f"body flip at byte {pos} escaped the CRC check"
+                )
+                continue
+            assert body_index(pos) is None, (
+                f"body flip at byte {pos} decoded silently"
+            )
+            assert np.array_equal(out, baseline), (
+                f"silent corruption at byte {pos}"
+            )
 
     @given(st.integers(0, 2**31))
     @settings(max_examples=30, deadline=None)
