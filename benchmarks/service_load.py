@@ -1,0 +1,224 @@
+#!/usr/bin/env python
+"""Closed-loop load generator for the tuning service.
+
+Starts a :class:`~repro.service.http.TuningServer` in-process on an
+ephemeral port, registers a two-architecture model bundle, then drives
+it with N client threads each issuing M requests (a deterministic mix
+of ``/v1/tune`` and ``/v1/decide``). Clients run with retries disabled
+so every 429 admission reject is *counted*, not hidden. Reports p50 /
+p95 / p99 / max latency, throughput, and the reject rate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/service_load.py
+    PYTHONPATH=src python benchmarks/service_load.py --smoke        # CI
+    PYTHONPATH=src python benchmarks/service_load.py \
+        --threads 16 --requests 100 --queue-size 8   # force rejects
+
+Exit status is non-zero if any request fails with an unexpected error
+(anything but a 429 reject), or — under ``--smoke`` — if a
+generously-sized queue rejects anything at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+
+from repro.core.persistence import ModelBundle
+from repro.core.power_model import PowerModel
+from repro.core.runtime_model import RuntimeModel
+from repro.resilience.policies import RetryPolicy
+from repro.service import (
+    QueueFullError,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    TuningServer,
+)
+from repro.utils.stats import GoodnessOfFit
+
+_GOF = GoodnessOfFit(0.1, 0.02, 0.9)
+
+
+def demo_bundle() -> ModelBundle:
+    """A fixed two-architecture bundle (paper's Table III shape)."""
+    return ModelBundle(
+        compression_power={
+            "Broadwell": PowerModel("Broadwell", 0.0064, 5.315, 0.7429,
+                                    0.8, 2.0, _GOF),
+            "Skylake": PowerModel("Skylake", 0.0074, 5.124, 1.1624,
+                                  0.8, 2.2, _GOF),
+        },
+        transit_power={
+            "Broadwell": PowerModel("Broadwell", 0.0261, 3.395, 0.7097,
+                                    0.8, 2.0, _GOF),
+            "Skylake": PowerModel("Skylake", 0.0313, 3.283, 1.0786,
+                                  0.8, 2.2, _GOF),
+        },
+        compression_runtime={
+            "broadwell": RuntimeModel("compress-broadwell", 0.55, 2.0, _GOF),
+            "skylake": RuntimeModel("compress-skylake", 0.52, 2.2, _GOF),
+        },
+        transit_runtime={
+            "broadwell": RuntimeModel("write-broadwell", 0.75, 2.0, _GOF),
+            "skylake": RuntimeModel("write-skylake", 0.71, 2.2, _GOF),
+        },
+        metadata={"source": "service_load-demo"},
+    )
+
+
+def request_mix() -> list:
+    """The deterministic request cycle every client thread walks."""
+    mix = []
+    for arch in ("broadwell", "skylake"):
+        for stage in ("compress", "write"):
+            for objective in ("power", "energy", "edp"):
+                mix.append(("tune", {
+                    "model": "demo", "arch": arch, "stage": stage,
+                    "objective": objective,
+                }))
+    for arch in ("broadwell", "skylake"):
+        for ratio in (1.2, 4.0, 16.0):
+            for clients in (1, 64):
+                mix.append(("decide", {
+                    "arch": arch, "ratio": ratio, "error_bound": 1e-3,
+                    "nbytes": 10**9, "clients": clients,
+                }))
+    return mix
+
+
+def percentile(sorted_samples: list, q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample list."""
+    if not sorted_samples:
+        return float("nan")
+    rank = max(0, min(len(sorted_samples) - 1,
+                      round(q * (len(sorted_samples) - 1))))
+    return sorted_samples[rank]
+
+
+def run_load(server: TuningServer, threads: int, requests: int) -> dict:
+    """Drive the server; returns latencies (ok) and outcome counts."""
+    mix = request_mix()
+    latencies_s: list = []
+    counts = {"ok": 0, "rejected": 0, "errors": 0}
+    failures: list = []
+    lock = threading.Lock()
+    start_barrier = threading.Barrier(threads)
+
+    def client_thread(rank: int) -> None:
+        # One client per thread, no retries: rejects must be visible.
+        client = ServiceClient(
+            server.url,
+            retry=RetryPolicy(max_attempts=1),
+            retry_seed=rank,
+        )
+        start_barrier.wait()
+        for i in range(requests):
+            kind, payload = mix[(rank + i) % len(mix)]
+            fn = client.tune if kind == "tune" else client.decide
+            t0 = time.perf_counter()
+            try:
+                fn(**payload)
+            except QueueFullError:
+                with lock:
+                    counts["rejected"] += 1
+                continue
+            except (ServiceError, OSError) as exc:
+                with lock:
+                    counts["errors"] += 1
+                    failures.append(f"{kind} {payload}: {exc}")
+                continue
+            elapsed = time.perf_counter() - t0
+            with lock:
+                counts["ok"] += 1
+                latencies_s.append(elapsed)
+
+    workers = [
+        threading.Thread(target=client_thread, args=(rank,))
+        for rank in range(threads)
+    ]
+    t_start = time.perf_counter()
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    wall_s = time.perf_counter() - t_start
+    latencies_s.sort()
+    return {
+        "counts": counts,
+        "latencies_s": latencies_s,
+        "wall_s": wall_s,
+        "failures": failures,
+    }
+
+
+def report(outcome: dict, threads: int, requests: int) -> None:
+    counts = outcome["counts"]
+    lat = outcome["latencies_s"]
+    total = threads * requests
+    reject_rate = counts["rejected"] / total if total else 0.0
+    print(f"service load: {threads} threads x {requests} requests "
+          f"= {total} total in {outcome['wall_s']:.2f}s "
+          f"({total / outcome['wall_s']:.0f} req/s offered)")
+    print(f"  ok={counts['ok']}  rejected={counts['rejected']} "
+          f"({reject_rate:.1%})  errors={counts['errors']}")
+    if lat:
+        print("  latency (ok only): "
+              f"p50={percentile(lat, 0.50) * 1e3:.2f}ms  "
+              f"p95={percentile(lat, 0.95) * 1e3:.2f}ms  "
+              f"p99={percentile(lat, 0.99) * 1e3:.2f}ms  "
+              f"max={lat[-1] * 1e3:.2f}ms")
+    for line in outcome["failures"][:10]:
+        print(f"  FAIL {line}", file=sys.stderr)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Load-test the tuning service in-process."
+    )
+    parser.add_argument("--threads", type=int, default=8,
+                        help="client threads (default 8)")
+    parser.add_argument("--requests", type=int, default=50,
+                        help="requests per thread (default 50)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="service worker pool size")
+    parser.add_argument("--queue-size", type=int, default=256,
+                        help="service admission bound")
+    parser.add_argument("--batch-max", type=int, default=16,
+                        help="service dispatch batch size")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI run; any reject or error fails")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.threads, args.requests = 4, 10
+
+    config = ServiceConfig(
+        port=0, workers=args.workers, queue_size=args.queue_size,
+        batch_max=args.batch_max,
+    )
+    with TuningServer(config) as server:
+        server.registry.put("demo", demo_bundle())
+        outcome = run_load(server, args.threads, args.requests)
+    report(outcome, args.threads, args.requests)
+
+    counts = outcome["counts"]
+    if counts["errors"]:
+        print(f"FAILED: {counts['errors']} unexpected errors",
+              file=sys.stderr)
+        return 1
+    if args.smoke and counts["rejected"]:
+        print(f"FAILED: smoke run rejected {counts['rejected']} requests "
+              f"with queue_size={args.queue_size}", file=sys.stderr)
+        return 1
+    expected = args.threads * args.requests
+    if counts["ok"] + counts["rejected"] != expected:
+        print("FAILED: request accounting does not add up", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

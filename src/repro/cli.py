@@ -206,6 +206,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_args(p)
     _add_observability_args(p)
 
+    p = sub.add_parser("serve",
+                       help="run the tuning service (HTTP, see docs/SERVICE.md)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8023,
+                   help="TCP port (0 picks a free one; the bound address "
+                        "is printed on startup)")
+    p.add_argument("--models", action="append", default=None, metavar="[NAME=]PATH",
+                   help="bundle JSON to preload (repeatable); NAME defaults "
+                        "to the file stem")
+    p.add_argument("--models-dir", default=None, metavar="DIR",
+                   help="warm-start: register every *.json bundle in DIR")
+    p.add_argument("--workers", type=int, default=4,
+                   help="scheduler worker threads")
+    p.add_argument("--queue-size", type=int, default=64,
+                   help="admission bound; a full queue answers 429")
+    p.add_argument("--batch-max", type=int, default=16,
+                   help="max requests coalesced into one dispatch cycle")
+    p.add_argument("--deadline-s", type=float, default=30.0,
+                   help="default per-request deadline (queued longer "
+                        "answers 504)")
+    p.add_argument("--max-jobs", type=int, default=4,
+                   help="max unfinished characterize jobs before 429")
+    _add_observability_args(p)
+
     p = sub.add_parser("cluster",
                        help="simulate an N-node dump through a shared NFS")
     p.add_argument("--arch", default="skylake")
@@ -574,6 +598,60 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import os
+    import signal
+    import threading
+
+    from repro.core.persistence import ModelBundle
+    from repro.service import ServiceConfig, TuningServer
+
+    config = ServiceConfig(
+        host=args.host, port=args.port,
+        workers=args.workers, queue_size=args.queue_size,
+        batch_max=args.batch_max, default_deadline_s=args.deadline_s,
+        max_pending_jobs=args.max_jobs,
+    )
+    server = TuningServer(config)
+    if args.models_dir:
+        entries = server.registry.load_dir(args.models_dir)
+        print(f"warm start: {len(entries)} bundle(s) from {args.models_dir}")
+    for spec in args.models or ():
+        name, sep, path = spec.partition("=")
+        if not sep:
+            name, path = "", spec
+        if not name:
+            name = os.path.splitext(os.path.basename(path))[0]
+        entry = server.registry.put(name, ModelBundle.load(path))
+        print(f"registered model {entry.name} v{entry.version} "
+              f"({entry.fingerprint[:12]}) from {path}")
+
+    # SIGTERM/SIGINT start a graceful drain on a helper thread (the
+    # main thread sits in serve_forever and must keep running until
+    # httpd.shutdown() releases it). Accepted work always completes.
+    state = {"signal": None}
+
+    def _on_signal(signum, frame):
+        if state["signal"] is None:
+            state["signal"] = signal.Signals(signum).name
+            threading.Thread(
+                target=server.drain, name="repro-serve-drain", daemon=True
+            ).start()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+
+    host, port = server.address
+    print(f"tuning service listening on http://{host}:{port} "
+          f"(workers={config.workers}, queue={config.queue_size}, "
+          f"models={len(server.registry)})", flush=True)
+    server.serve_forever()
+    print(f"received {state['signal'] or 'shutdown'}: drained "
+          f"{'cleanly' if server.jobs.unfinished() == 0 else 'with pending jobs'}, "
+          f"queue depth {server.scheduler.queue_depth}", flush=True)
+    return 0 if server.jobs.unfinished() == 0 else 1
+
+
 def _cmd_cluster(args) -> int:
     from repro.compressors import SZCompressor
     from repro.data.registry import load_field
@@ -615,6 +693,7 @@ _HANDLERS = {
     "advise": _cmd_advise,
     "campaign": _cmd_campaign,
     "cluster": _cmd_cluster,
+    "serve": _cmd_serve,
 }
 
 

@@ -9,6 +9,7 @@ runtime models — as a versioned JSON document.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
 from typing import Dict
@@ -20,6 +21,14 @@ from repro.utils.stats import GoodnessOfFit
 __all__ = ["ModelBundle", "SCHEMA_VERSION"]
 
 SCHEMA_VERSION = 1
+
+#: The model maps every bundle document must carry, schema v1.
+_REQUIRED_SECTIONS = (
+    "compression_power",
+    "transit_power",
+    "compression_runtime",
+    "transit_runtime",
+)
 
 
 def _gof_to_dict(g: GoodnessOfFit) -> Dict[str, float]:
@@ -95,24 +104,76 @@ class ModelBundle:
 
     @classmethod
     def from_json(cls, text: str) -> "ModelBundle":
-        """Parse a document produced by :meth:`to_json`."""
+        """Parse a document produced by :meth:`to_json`.
+
+        Malformed documents fail with a :class:`ValueError` naming the
+        problem — never a bare ``KeyError``. A ``schema_version``
+        *newer* than this build's is called out explicitly so operators
+        know to upgrade rather than suspect corruption.
+        """
         try:
             doc = json.loads(text)
         except json.JSONDecodeError as exc:
             raise ValueError(f"not a valid model bundle: {exc}") from exc
-        version = doc.get("schema_version")
-        if version != SCHEMA_VERSION:
+        if not isinstance(doc, dict):
             raise ValueError(
-                f"unsupported model bundle schema {version!r} "
-                f"(this build reads version {SCHEMA_VERSION})"
+                f"not a valid model bundle: expected a JSON object, "
+                f"got {type(doc).__name__}"
             )
-        return cls(
-            compression_power={k: _power_from_dict(v) for k, v in doc["compression_power"].items()},
-            transit_power={k: _power_from_dict(v) for k, v in doc["transit_power"].items()},
-            compression_runtime={k: _runtime_from_dict(v) for k, v in doc["compression_runtime"].items()},
-            transit_runtime={k: _runtime_from_dict(v) for k, v in doc["transit_runtime"].items()},
-            metadata=dict(doc.get("metadata", {})),
-        )
+        if "schema_version" not in doc:
+            raise ValueError(
+                "not a valid model bundle: missing 'schema_version'"
+            )
+        version = doc["schema_version"]
+        if not isinstance(version, int) or version != SCHEMA_VERSION:
+            hint = (
+                "written by a newer build of this library; upgrade to read it"
+                if isinstance(version, int) and version > SCHEMA_VERSION
+                else f"this build reads version {SCHEMA_VERSION}"
+            )
+            raise ValueError(
+                f"unsupported model bundle schema {version!r} ({hint})"
+            )
+        missing = [s for s in _REQUIRED_SECTIONS if s not in doc]
+        if missing:
+            raise ValueError(
+                f"not a valid model bundle: missing sections {missing}"
+            )
+        try:
+            return cls(
+                compression_power={
+                    k: _power_from_dict(v)
+                    for k, v in doc["compression_power"].items()
+                },
+                transit_power={
+                    k: _power_from_dict(v)
+                    for k, v in doc["transit_power"].items()
+                },
+                compression_runtime={
+                    k: _runtime_from_dict(v)
+                    for k, v in doc["compression_runtime"].items()
+                },
+                transit_runtime={
+                    k: _runtime_from_dict(v)
+                    for k, v in doc["transit_runtime"].items()
+                },
+                metadata=dict(doc.get("metadata", {})),
+            )
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise ValueError(f"not a valid model bundle: {exc!r}") from exc
+
+    def fingerprint(self) -> str:
+        """Stable SHA-256 content address of the bundle.
+
+        Hashes the canonical form of the JSON document (sorted keys,
+        compact separators), so two bundles with equal models, metadata
+        and schema hash identically regardless of how their JSON was
+        formatted, while any one-field change produces a new digest.
+        The model registry uses this as its content address.
+        """
+        doc = json.loads(self.to_json())
+        canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def save(self, path) -> None:
         """Write the bundle to *path*."""

@@ -1,0 +1,62 @@
+"""Tuning-as-a-service: the queryable face of the fitted models.
+
+Characterization is expensive and runs once; afterwards the fitted
+``P(f) = a·f^b + c`` bundles alone answer every tuning question. This
+package serves those answers over HTTP — stdlib only — turning the
+batch CLI into a long-running system:
+
+* :mod:`repro.service.registry` — named, versioned, content-addressed
+  :class:`~repro.core.persistence.ModelBundle` store with an LRU of
+  parsed bundles and warm start from a directory.
+* :mod:`repro.service.scheduler` — bounded admission (429 on a full
+  queue), request batching and coalescing over a
+  :class:`repro.parallel.Executor` pool, per-request deadlines.
+* :mod:`repro.service.jobs` — async characterization jobs behind
+  ``POST /v1/characterize`` + ``GET /v1/jobs/<id>``.
+* :mod:`repro.service.http` — the ``ThreadingHTTPServer`` API
+  (``/v1/tune``, ``/v1/decide``, ``/metrics``, health/readiness) with
+  graceful drain.
+* :mod:`repro.service.client` — a typed client with deterministic
+  retry/backoff from :class:`~repro.resilience.policies.RetryPolicy`.
+
+Run it with ``repro-tool serve``; see ``docs/SERVICE.md``.
+"""
+
+from repro.service.client import ConnectionFailed, ServiceClient
+from repro.service.errors import (
+    BadRequestError,
+    DeadlineExceeded,
+    InternalError,
+    NotFoundError,
+    QueueFullError,
+    ServiceClosedError,
+    ServiceError,
+    error_for_status,
+)
+from repro.service.handlers import RequestHandlers
+from repro.service.http import ServiceConfig, TuningServer
+from repro.service.jobs import Job, JobManager
+from repro.service.registry import ModelEntry, ModelRegistry
+from repro.service.scheduler import Scheduler, Ticket
+
+__all__ = [
+    "ServiceError",
+    "BadRequestError",
+    "NotFoundError",
+    "QueueFullError",
+    "ServiceClosedError",
+    "DeadlineExceeded",
+    "InternalError",
+    "error_for_status",
+    "ConnectionFailed",
+    "ModelEntry",
+    "ModelRegistry",
+    "Scheduler",
+    "Ticket",
+    "Job",
+    "JobManager",
+    "RequestHandlers",
+    "ServiceConfig",
+    "TuningServer",
+    "ServiceClient",
+]

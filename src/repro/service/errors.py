@@ -1,0 +1,111 @@
+"""Error taxonomy of the tuning service.
+
+Every failure the service can hand a caller maps to exactly one HTTP
+status, carried on the exception class so the HTTP layer, the scheduler
+and the client agree on semantics without string matching:
+
+================== ====== ==============================================
+exception          status  meaning
+================== ====== ==============================================
+BadRequestError     400    malformed JSON, unknown field, bad value
+NotFoundError       404    unknown route, model name, version or job id
+QueueFullError      429    admission control rejected the request
+ServiceClosedError  503    the service is draining and accepts no work
+DeadlineExceeded    504    the request expired before a worker ran it
+InternalError       500    a handler raised something unexpected
+================== ====== ==============================================
+
+The client re-raises these from response bodies, so code talking to a
+remote service catches the same exceptions as code embedding the
+in-process :class:`~repro.service.http.TuningServer`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServiceError",
+    "BadRequestError",
+    "NotFoundError",
+    "QueueFullError",
+    "ServiceClosedError",
+    "DeadlineExceeded",
+    "InternalError",
+    "error_for_status",
+]
+
+
+class ServiceError(Exception):
+    """Base class: a failure with a definite HTTP status."""
+
+    status = 500
+    #: Machine-readable error code used in JSON bodies.
+    code = "internal"
+    #: Whether a client may retry the same request verbatim.
+    retryable = False
+
+
+class BadRequestError(ServiceError):
+    """The request itself is wrong; retrying it verbatim cannot help."""
+
+    status = 400
+    code = "bad_request"
+
+
+class NotFoundError(ServiceError):
+    """Unknown route, model name/version, or job id."""
+
+    status = 404
+    code = "not_found"
+
+
+class QueueFullError(ServiceError):
+    """Admission control: the bounded queue is full right now."""
+
+    status = 429
+    code = "queue_full"
+    retryable = True
+
+
+class ServiceClosedError(ServiceError):
+    """The service is draining/stopped and accepts no new work."""
+
+    status = 503
+    code = "draining"
+    retryable = True
+
+
+class DeadlineExceeded(ServiceError):
+    """The request's deadline passed before a worker could serve it."""
+
+    status = 504
+    code = "deadline_exceeded"
+    retryable = True
+
+
+class InternalError(ServiceError):
+    """A handler failed unexpectedly; the body carries the repr."""
+
+    status = 500
+    code = "internal"
+
+
+_BY_STATUS = {
+    cls.status: cls
+    for cls in (
+        BadRequestError,
+        NotFoundError,
+        QueueFullError,
+        ServiceClosedError,
+        DeadlineExceeded,
+        InternalError,
+    )
+}
+
+
+def error_for_status(status: int, message: str) -> ServiceError:
+    """Rebuild the matching exception from an HTTP status (client side)."""
+    cls = _BY_STATUS.get(status)
+    if cls is None:
+        cls = InternalError if status >= 500 else BadRequestError
+        return cls(f"HTTP {status}: {message}")
+    return cls(message)

@@ -1,0 +1,336 @@
+"""The HTTP face of the tuning service (stdlib ``ThreadingHTTPServer``).
+
+Routes
+------
+
+====== ========================== =========================================
+method path                        semantics
+====== ========================== =========================================
+GET    /healthz                    liveness: 200 while the process runs
+GET    /readyz                     readiness: 200 accepting, 503 draining
+GET    /metrics                    Prometheus text exposition
+GET    /v1/models                  registry listing
+PUT    /v1/models/<name>           register a bundle JSON (idempotent)
+GET    /v1/models/<name>           latest entry (+``?version=N``)
+POST   /v1/tune                    frequency recommendation (scheduled)
+POST   /v1/decide                  compress-vs-raw break-even (scheduled)
+POST   /v1/characterize            async job; 202 + job id
+GET    /v1/jobs/<id>               job state/result
+====== ========================== =========================================
+
+``/v1/tune`` and ``/v1/decide`` go through the
+:class:`~repro.service.scheduler.Scheduler` — admission control (429),
+coalescing, deadlines (504) — while reads answer inline. Connection
+handling is ``ThreadingHTTPServer``'s thread-per-connection; the
+scheduler's bounded queue, not the accept loop, is the service's
+backpressure point.
+
+Graceful drain (:meth:`TuningServer.drain`): readiness flips to 503,
+new scheduled work and jobs are refused, the scheduler runs its queue
+dry, the job manager joins every accepted job, then the listener stops.
+Nothing accepted before the drain began is lost.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.observability.exporters import prometheus_text
+from repro.observability.metrics import get_registry as get_metrics_registry
+from repro.service.errors import (
+    BadRequestError,
+    NotFoundError,
+    ServiceClosedError,
+    ServiceError,
+)
+from repro.service.handlers import RequestHandlers
+from repro.service.jobs import JobManager
+from repro.service.registry import ModelRegistry
+from repro.service.scheduler import Scheduler
+
+__all__ = ["ServiceConfig", "TuningServer"]
+
+_MAX_BODY_BYTES = 8 << 20  # a bundle JSON is ~10 KB; 8 MiB is generous
+
+
+class ServiceConfig:
+    """Deployment knobs for one :class:`TuningServer`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 4,
+        queue_size: int = 64,
+        batch_max: int = 16,
+        default_deadline_s: Optional[float] = 30.0,
+        max_pending_jobs: int = 4,
+        registry_cache: int = 8,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.workers = int(workers)
+        self.queue_size = int(queue_size)
+        self.batch_max = int(batch_max)
+        self.default_deadline_s = default_deadline_s
+        self.max_pending_jobs = int(max_pending_jobs)
+        self.registry_cache = int(registry_cache)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one connection's requests into the owning server."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-tuning-service"
+
+    # BaseHTTPRequestHandler logs to stderr per request by default;
+    # a service's request log is its metrics, so keep stdio quiet.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    @property
+    def service(self) -> "TuningServer":
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _send_json(self, status: int, doc: Dict[str, Any],
+                   extra_headers: Optional[Dict[str, str]] = None) -> None:
+        body = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (extra_headers or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, exc: ServiceError) -> None:
+        headers = {"Retry-After": "1"} if exc.retryable else None
+        self._send_json(
+            exc.status, {"error": exc.code, "message": str(exc)}, headers
+        )
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY_BYTES:
+            raise BadRequestError(
+                f"request body too large ({length} bytes > {_MAX_BODY_BYTES})"
+            )
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequestError(f"request body is not valid JSON: {exc}")
+        if not isinstance(doc, dict):
+            raise BadRequestError("request body must be a JSON object")
+        return doc
+
+    def _dispatch(self, method: str) -> None:
+        split = urlsplit(self.path)
+        path, query = split.path.rstrip("/") or "/", parse_qs(split.query)
+        try:
+            self.service.route(self, method, path, query)
+        except ServiceError as exc:
+            self._send_error(exc)
+        except BrokenPipeError:  # client went away mid-response
+            pass
+        except Exception as exc:  # defensive: a bug must still answer 500
+            self._send_json(
+                500, {"error": "internal", "message": f"{type(exc).__name__}: {exc}"}
+            )
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def do_PUT(self) -> None:
+        self._dispatch("PUT")
+
+
+class TuningServer:
+    """The long-running service bundling registry, scheduler and jobs.
+
+    Components may be injected (tests wrap the handler to add latency,
+    embedders share a registry); by default each server builds its own
+    from *config*.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        registry: Optional[ModelRegistry] = None,
+        scheduler: Optional[Scheduler] = None,
+        jobs: Optional[JobManager] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.registry = registry if registry is not None else ModelRegistry(
+            cache_size=self.config.registry_cache
+        )
+        self.handlers = RequestHandlers(self.registry)
+        self.scheduler = scheduler if scheduler is not None else Scheduler(
+            self.handlers,
+            queue_size=self.config.queue_size,
+            workers=self.config.workers,
+            batch_max=self.config.batch_max,
+            default_deadline_s=self.config.default_deadline_s,
+        )
+        self.jobs = jobs if jobs is not None else JobManager(
+            max_pending=self.config.max_pending_jobs
+        )
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), _Handler
+        )
+        self._httpd.daemon_threads = True
+        self._httpd.service = self  # type: ignore[attr-defined]
+        self._serve_thread: Optional[threading.Thread] = None
+        self._draining = threading.Event()
+        self._drained = threading.Event()
+
+    # -- addressing ----------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """Bound (host, port) — resolved even when configured port 0."""
+        return self._httpd.server_address[0], self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # -- lifecycle -----------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`drain`/``shutdown``."""
+        self._httpd.serve_forever(poll_interval=0.05)
+        self._httpd.server_close()
+
+    def start(self) -> "TuningServer":
+        """Serve on a background thread (in-process embedding/tests)."""
+        if self._serve_thread is not None:
+            raise RuntimeError("server already started")
+        self._serve_thread = threading.Thread(
+            target=self.serve_forever, name="repro-service-http", daemon=True
+        )
+        self._serve_thread.start()
+        return self
+
+    def drain(self, timeout: Optional[float] = 30.0) -> bool:
+        """Graceful shutdown: refuse new work, finish accepted work.
+
+        Idempotent; returns ``True`` when both the scheduler queue and
+        the job backlog emptied within *timeout* before the listener
+        stopped.
+        """
+        if self._draining.is_set():
+            self._drained.wait(timeout)
+            return self.scheduler.draining and self.jobs.unfinished() == 0
+        self._draining.set()
+        ok = self.scheduler.close(timeout)
+        ok = self.jobs.drain(timeout) and ok
+        self._httpd.shutdown()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout)
+        self._drained.set()
+        return ok
+
+    def __enter__(self) -> "TuningServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.drain()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    # -- routing -------------------------------------------------------
+
+    def route(self, http: _Handler, method: str, path: str,
+              query: Dict[str, Any]) -> None:
+        if method == "GET":
+            if path == "/healthz":
+                http._send_json(200, {"status": "ok"})
+                return
+            if path == "/readyz":
+                if self.draining:
+                    raise ServiceClosedError("draining")
+                http._send_json(200, {"status": "ready"})
+                return
+            if path == "/metrics":
+                body = prometheus_text(get_metrics_registry()).encode("utf-8")
+                http.send_response(200)
+                http.send_header(
+                    "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+                )
+                http.send_header("Content-Length", str(len(body)))
+                http.end_headers()
+                http.wfile.write(body)
+                return
+            if path == "/v1/models":
+                http._send_json(200, {
+                    "models": [e.as_dict() for e in self.registry.entries()],
+                })
+                return
+            if path.startswith("/v1/models/"):
+                name = path[len("/v1/models/"):]
+                version = None
+                if "version" in query:
+                    try:
+                        version = int(query["version"][0])
+                    except (TypeError, ValueError):
+                        raise BadRequestError("query 'version' must be an integer")
+                http._send_json(200, self.registry.entry(name, version).as_dict())
+                return
+            if path.startswith("/v1/jobs/"):
+                job_id = path[len("/v1/jobs/"):]
+                http._send_json(200, self.jobs.get(job_id).as_dict())
+                return
+        elif method == "PUT":
+            if path.startswith("/v1/models/"):
+                name = path[len("/v1/models/"):]
+                if self.draining:
+                    raise ServiceClosedError("draining; not accepting models")
+                length = int(http.headers.get("Content-Length") or 0)
+                if length > _MAX_BODY_BYTES:
+                    raise BadRequestError("bundle document too large")
+                raw = http.rfile.read(length).decode("utf-8", errors="replace")
+                entry = self.registry.put_json(name, raw)
+                http._send_json(200, entry.as_dict())
+                return
+        elif method == "POST":
+            if path in ("/v1/tune", "/v1/decide"):
+                payload = http._read_body()
+                deadline_s = payload.pop("deadline_s", None)
+                if deadline_s is not None:
+                    try:
+                        deadline_s = float(deadline_s)
+                    except (TypeError, ValueError):
+                        raise BadRequestError("field 'deadline_s' must be a number")
+                    if deadline_s <= 0:
+                        raise BadRequestError("field 'deadline_s' must be > 0")
+                if self.draining:
+                    raise ServiceClosedError("draining; not accepting requests")
+                kind = path.rsplit("/", 1)[1]
+                result = self.scheduler.perform(kind, payload, deadline_s)
+                http._send_json(200, result)
+                return
+            if path == "/v1/characterize":
+                payload = http._read_body()
+                spec = self.handlers.parse_characterize(payload)
+                job = self.jobs.submit(
+                    "characterize", lambda: self.handlers.run_characterize(spec)
+                )
+                http._send_json(
+                    202, {"job_id": job.id, "state": job.state},
+                    {"Location": f"/v1/jobs/{job.id}"},
+                )
+                return
+        raise NotFoundError(f"no route for {method} {path}")

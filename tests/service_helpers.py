@@ -1,0 +1,27 @@
+"""Shared factories for the service test suites."""
+
+from repro.core.persistence import ModelBundle
+from repro.core.power_model import PowerModel
+from repro.core.runtime_model import RuntimeModel
+from repro.utils.stats import GoodnessOfFit
+
+GOF = GoodnessOfFit(0.1, 0.02, 0.9)
+
+
+def make_bundle(a: float = 0.0064, seed: int = 0) -> ModelBundle:
+    """A small fitted bundle covering one architecture (broadwell)."""
+    return ModelBundle(
+        compression_power={
+            "Broadwell": PowerModel("Broadwell", a, 5.315, 0.7429, 0.8, 2.0, GOF),
+        },
+        transit_power={
+            "Broadwell": PowerModel("Broadwell", 0.0261, 3.395, 0.7097, 0.8, 2.0, GOF),
+        },
+        compression_runtime={
+            "broadwell": RuntimeModel("compress-broadwell", 0.55, 2.0, GOF),
+        },
+        transit_runtime={
+            "broadwell": RuntimeModel("write-broadwell", 0.75, 2.0, GOF),
+        },
+        metadata={"seed": seed},
+    )

@@ -57,9 +57,70 @@ class TestJsonRoundTrip:
         with pytest.raises(ValueError, match="schema"):
             ModelBundle.from_json(json.dumps(doc))
 
+    def test_future_schema_names_newer_build(self):
+        doc = json.loads(make_bundle().to_json())
+        doc["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="newer build"):
+            ModelBundle.from_json(json.dumps(doc))
+
+    def test_missing_schema_version_rejected(self):
+        doc = json.loads(make_bundle().to_json())
+        del doc["schema_version"]
+        with pytest.raises(ValueError, match="schema_version"):
+            ModelBundle.from_json(json.dumps(doc))
+
+    def test_non_object_document_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            ModelBundle.from_json("[1, 2, 3]")
+
+    def test_missing_section_is_valueerror_not_keyerror(self):
+        doc = json.loads(make_bundle().to_json())
+        del doc["transit_runtime"]
+        with pytest.raises(ValueError, match="transit_runtime"):
+            ModelBundle.from_json(json.dumps(doc))
+
+    def test_malformed_model_entry_is_valueerror(self):
+        doc = json.loads(make_bundle().to_json())
+        del doc["compression_power"]["Broadwell"]["a"]
+        with pytest.raises(ValueError, match="not a valid"):
+            ModelBundle.from_json(json.dumps(doc))
+
+    def test_v1_document_roundtrip(self):
+        # A frozen v1 document (reformatted whitespace, shuffled keys)
+        # must parse, and re-serializing must preserve every value.
+        doc = json.loads(make_bundle().to_json())
+        assert doc["schema_version"] == 1
+        shuffled = json.dumps(doc, sort_keys=False, separators=(", ", ": "))
+        restored = ModelBundle.from_json(shuffled)
+        assert json.loads(restored.to_json()) == doc
+
     def test_invalid_json_rejected(self):
         with pytest.raises(ValueError, match="not a valid"):
             ModelBundle.from_json("{nope")
+
+
+class TestFingerprint:
+    def test_stable_across_formatting(self):
+        a = make_bundle()
+        b = ModelBundle.from_json(a.to_json())
+        assert a.fingerprint() == b.fingerprint()
+        assert len(a.fingerprint()) == 64
+        int(a.fingerprint(), 16)  # hex digest
+
+    def test_equal_bundles_hash_equal(self):
+        assert make_bundle().fingerprint() == make_bundle().fingerprint()
+
+    def test_one_field_change_changes_hash(self):
+        changed = make_bundle()
+        changed.compression_power["Broadwell"] = PowerModel(
+            "Broadwell", 0.0064, 5.315, 0.7430, 0.8, 2.0, GOF
+        )
+        assert changed.fingerprint() != make_bundle().fingerprint()
+
+    def test_metadata_change_changes_hash(self):
+        changed = make_bundle()
+        changed.metadata["seed"] = 1
+        assert changed.fingerprint() != make_bundle().fingerprint()
 
 
 class TestFileRoundTrip:

@@ -1,0 +1,174 @@
+"""Client tests: typed errors, deterministic retry/backoff, helpers."""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.observability.metrics import get_registry as get_metrics_registry
+from repro.resilience.policies import RetryPolicy
+from repro.service import (
+    BadRequestError,
+    NotFoundError,
+    QueueFullError,
+    ServiceClient,
+    ServiceConfig,
+    TuningServer,
+)
+from repro.service.client import ConnectionFailed
+from tests.service_helpers import make_bundle
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics():
+    get_metrics_registry().reset()
+    yield
+    get_metrics_registry().reset()
+
+
+@pytest.fixture
+def live():
+    server = TuningServer(ServiceConfig(port=0, workers=2))
+    server.registry.put("prod", make_bundle())
+    with server:
+        yield server
+
+
+class _ScriptedHandler(BaseHTTPRequestHandler):
+    """Answers from a per-server script of (status, body) tuples."""
+
+    def log_message(self, *args):
+        pass
+
+    def _reply(self):
+        script = self.server.script  # type: ignore[attr-defined]
+        status, body = script.pop(0) if len(script) > 1 else script[0]
+        payload = json.dumps(body).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    do_GET = do_POST = do_PUT = _reply
+
+
+@pytest.fixture
+def scripted():
+    """A stub server whose responses are scripted by the test."""
+    httpd = ThreadingHTTPServer(("127.0.0.1", 0), _ScriptedHandler)
+    httpd.script = [(200, {"status": "ok"})]
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield httpd
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+
+
+def url_of(httpd):
+    return f"http://127.0.0.1:{httpd.server_address[1]}"
+
+
+class TestAgainstLiveServer:
+    def test_tune_and_decide(self, live):
+        client = ServiceClient(live.url)
+        rec = client.tune("prod", "broadwell", "compress", policy="eqn3")
+        assert rec["freq_ghz"] == 1.75
+        verdict = client.decide("skylake", ratio=4.0, error_bound=1e-3,
+                                nbytes=10**9, clients=64)
+        assert verdict["decision"] == "compress"
+
+    def test_register_is_idempotent(self, live):
+        client = ServiceClient(live.url)
+        first = client.register_model("edge", make_bundle(a=0.005))
+        again = client.register_model("edge", make_bundle(a=0.005))
+        assert first == again
+        assert client.model_entry("edge")["version"] == first["version"]
+
+    def test_typed_errors_reraised(self, live):
+        client = ServiceClient(live.url)
+        with pytest.raises(NotFoundError):
+            client.tune("ghost", "broadwell", "compress")
+        with pytest.raises(BadRequestError):
+            client.tune("prod", "broadwell", "sideways")
+
+    def test_metrics_text(self, live):
+        client = ServiceClient(live.url)
+        client.tune("prod", "broadwell", "compress")
+        assert "repro_service_requests_total" in client.metrics_text()
+
+
+class TestRetry:
+    def test_retries_429_then_succeeds(self, scripted):
+        scripted.script = [
+            (429, {"error": "queue_full", "message": "full"}),
+            (429, {"error": "queue_full", "message": "full"}),
+            (200, {"status": "ok"}),
+        ]
+        sleeps = []
+        client = ServiceClient(
+            url_of(scripted),
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=0.01,
+                              backoff_cap_s=0.1),
+            sleep=sleeps.append,
+        )
+        assert client.healthz()
+        assert len(sleeps) == 2
+        assert sleeps[0] < sleeps[1]  # exponential
+
+    def test_backoff_schedule_is_deterministic(self, scripted):
+        scripted.script = [(429, {"message": "full"})]
+        policy = RetryPolicy(max_attempts=3, backoff_base_s=0.01,
+                             backoff_cap_s=0.1)
+
+        def run():
+            sleeps = []
+            client = ServiceClient(url_of(scripted), retry=policy,
+                                   retry_seed=7, sleep=sleeps.append)
+            with pytest.raises(QueueFullError):
+                client.healthz()
+            return sleeps
+
+        assert run() == run()
+
+    def test_gives_up_after_max_attempts(self, scripted):
+        scripted.script = [(503, {"error": "draining", "message": "bye"})]
+        sleeps = []
+        client = ServiceClient(
+            url_of(scripted),
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=0.001,
+                              backoff_cap_s=0.01),
+            sleep=sleeps.append,
+        )
+        with pytest.raises(Exception) as err:
+            client.healthz()
+        assert getattr(err.value, "status", None) == 503
+        assert len(sleeps) == 2  # max_attempts - 1 backoffs
+
+    def test_non_retryable_fails_fast(self, scripted):
+        scripted.script = [(400, {"error": "bad_request", "message": "no"})]
+        sleeps = []
+        client = ServiceClient(url_of(scripted), sleep=sleeps.append)
+        with pytest.raises(BadRequestError):
+            client._request("GET", "/healthz")
+        assert sleeps == []
+
+    def test_connection_refused_retries_then_raises(self):
+        sleeps = []
+        client = ServiceClient(
+            "http://127.0.0.1:9",  # discard port: nothing listens
+            retry=RetryPolicy(max_attempts=2, backoff_base_s=0.001,
+                              backoff_cap_s=0.01),
+            timeout_s=0.5,
+            sleep=sleeps.append,
+        )
+        with pytest.raises(ConnectionFailed):
+            client.healthz()
+        assert len(sleeps) == 1
+
+    def test_readyz_false_on_unreachable(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout_s=0.5)
+        assert client.readyz() is False

@@ -1,0 +1,251 @@
+"""Unit tests for the batching request scheduler."""
+
+import threading
+import time
+
+import pytest
+
+from repro.observability.metrics import get_registry as get_metrics_registry
+from repro.observability.tracer import Tracer, use_tracer
+from repro.service.errors import (
+    BadRequestError,
+    DeadlineExceeded,
+    InternalError,
+    QueueFullError,
+    ServiceClosedError,
+)
+from repro.service.scheduler import Scheduler
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics():
+    get_metrics_registry().reset()
+    yield
+    get_metrics_registry().reset()
+
+
+def echo_handler(kind, payload):
+    return {"kind": kind, "payload": payload}
+
+
+class TestBasics:
+    def test_submit_and_result(self):
+        with Scheduler(echo_handler, workers=2) as sched:
+            ticket = sched.submit("tune", {"x": 1})
+            assert ticket.result(5.0) == {"kind": "tune", "payload": {"x": 1}}
+
+    def test_perform_synchronous(self):
+        with Scheduler(echo_handler) as sched:
+            assert sched.perform("decide", {"y": 2})["payload"] == {"y": 2}
+
+    def test_many_distinct_requests_all_answered(self):
+        with Scheduler(echo_handler, queue_size=256, workers=4) as sched:
+            tickets = [sched.submit("tune", {"i": i}) for i in range(100)]
+            for i, t in enumerate(tickets):
+                assert t.result(10.0)["payload"] == {"i": i}
+
+    def test_service_error_propagates_typed(self):
+        def failing(kind, payload):
+            raise BadRequestError("nope")
+
+        with Scheduler(failing) as sched:
+            with pytest.raises(BadRequestError, match="nope"):
+                sched.perform("tune", {}, timeout=5.0)
+
+    def test_unexpected_error_wrapped_internal(self):
+        def crashing(kind, payload):
+            raise RuntimeError("boom")
+
+        with Scheduler(crashing) as sched:
+            with pytest.raises(InternalError, match="RuntimeError: boom"):
+                sched.perform("tune", {}, timeout=5.0)
+
+    def test_one_bad_request_does_not_poison_batch(self):
+        def picky(kind, payload):
+            if payload.get("bad"):
+                raise BadRequestError("bad one")
+            return payload["i"]
+
+        with Scheduler(picky, workers=2, batch_max=8) as sched:
+            tickets = [
+                sched.submit("tune", {"i": i, "bad": i == 3}) for i in range(6)
+            ]
+            results = []
+            for i, t in enumerate(tickets):
+                if i == 3:
+                    with pytest.raises(BadRequestError):
+                        t.result(5.0)
+                else:
+                    results.append(t.result(5.0))
+            assert results == [0, 1, 2, 4, 5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="queue_size"):
+            Scheduler(echo_handler, queue_size=0)
+        with pytest.raises(ValueError, match="batch_max"):
+            Scheduler(echo_handler, batch_max=0)
+
+
+class TestCoalescing:
+    def test_identical_payloads_computed_once_per_batch(self):
+        calls = []
+        gate = threading.Event()
+
+        def counting(kind, payload):
+            calls.append(payload)
+            return len(calls)
+
+        def stalling(kind, payload):
+            # First request blocks the dispatcher's pool so the
+            # duplicates pile up into one later batch.
+            if payload.get("stall"):
+                gate.wait(10.0)
+                return "stalled"
+            return counting(kind, payload)
+
+        with Scheduler(stalling, workers=1, batch_max=32,
+                       queue_size=64) as sched:
+            stall_ticket = sched.submit("tune", {"stall": True})
+            time.sleep(0.15)  # dispatcher is now stuck in the stall
+            dupes = [sched.submit("tune", {"q": "same"}) for _ in range(10)]
+            gate.set()
+            results = {d.result(10.0) for d in dupes}
+            assert stall_ticket.result(10.0) == "stalled"
+        # All ten duplicates shared one computation...
+        assert len(results) == 1
+        assert calls == [{"q": "same"}]
+        # ...and the coalescing counter recorded the nine saved runs.
+        coalesced = get_metrics_registry().counter(
+            "repro_service_coalesced_total"
+        )
+        assert coalesced.value == 9
+
+    def test_distinct_payloads_not_coalesced(self):
+        with Scheduler(echo_handler, batch_max=8) as sched:
+            a = sched.perform("tune", {"q": 1}, timeout=5.0)
+            b = sched.perform("tune", {"q": 2}, timeout=5.0)
+            assert a != b
+
+
+class TestAdmissionControl:
+    def make_stalled(self, queue_size):
+        gate = threading.Event()
+
+        def stalling(kind, payload):
+            gate.wait(10.0)
+            return "ok"
+
+        sched = Scheduler(stalling, queue_size=queue_size, workers=1,
+                          batch_max=1)
+        return sched, gate
+
+    def test_full_queue_rejects_not_blocks(self):
+        sched, gate = self.make_stalled(queue_size=2)
+        try:
+            first = sched.submit("tune", {"i": 0})
+            time.sleep(0.15)  # dispatcher takes it and stalls
+            accepted = [sched.submit("tune", {"i": 1 + i}) for i in range(2)]
+            t0 = time.monotonic()
+            with pytest.raises(QueueFullError, match="queue full"):
+                sched.submit("tune", {"i": 99})
+            assert time.monotonic() - t0 < 0.5  # rejected, not blocked
+            rejects = get_metrics_registry().counter(
+                "repro_service_rejected_total"
+            )
+            assert rejects.value == 1
+            gate.set()
+            for t in [first, *accepted]:
+                assert t.result(10.0) == "ok"
+        finally:
+            gate.set()
+            sched.close()
+
+    def test_submit_after_close_refused(self):
+        sched = Scheduler(echo_handler)
+        assert sched.close(10.0)
+        with pytest.raises(ServiceClosedError):
+            sched.submit("tune", {})
+
+
+class TestDeadlines:
+    def test_expired_in_queue_fails_504(self):
+        sched, gate = self.make_stalled_scheduler()
+        try:
+            blocker = sched.submit("tune", {"i": 0})
+            time.sleep(0.15)
+            doomed = sched.submit("tune", {"i": 1}, deadline_s=0.05)
+            time.sleep(0.2)  # deadline passes while queued
+            gate.set()
+            assert blocker.result(10.0) == "ok"
+            with pytest.raises(DeadlineExceeded, match="expired"):
+                doomed.result(10.0)
+        finally:
+            gate.set()
+            sched.close()
+
+    def make_stalled_scheduler(self):
+        gate = threading.Event()
+
+        def stalling(kind, payload):
+            if payload.get("i") == 0:
+                gate.wait(10.0)
+            return "ok"
+
+        return Scheduler(stalling, workers=1, batch_max=1), gate
+
+    def test_generous_deadline_still_served(self):
+        with Scheduler(echo_handler, default_deadline_s=30.0) as sched:
+            assert sched.perform("tune", {"a": 1}, timeout=5.0)["payload"] == {
+                "a": 1
+            }
+
+
+class TestDrain:
+    def test_close_completes_accepted_work(self):
+        slow_started = threading.Event()
+
+        def slow(kind, payload):
+            slow_started.set()
+            time.sleep(0.05)
+            return payload["i"]
+
+        sched = Scheduler(slow, queue_size=64, workers=2, batch_max=4)
+        tickets = [sched.submit("tune", {"i": i}) for i in range(10)]
+        slow_started.wait(5.0)
+        assert sched.close(30.0)  # drain runs the queue dry
+        assert [t.result(0.1) for t in tickets] == list(range(10))
+
+    def test_close_is_idempotent(self):
+        sched = Scheduler(echo_handler)
+        assert sched.close(10.0)
+        assert sched.close(10.0)
+
+
+class TestObservability:
+    def test_requests_counted_and_latency_observed(self):
+        with Scheduler(echo_handler) as sched:
+            for _ in range(3):
+                sched.perform("tune", {"a": 1}, timeout=5.0)
+            sched.perform("decide", {"b": 2}, timeout=5.0)
+        metrics = get_metrics_registry()
+        tune_ok = metrics.counter(
+            "repro_service_requests_total",
+            labels={"endpoint": "tune", "status": "ok"},
+        )
+        decide_ok = metrics.counter(
+            "repro_service_requests_total",
+            labels={"endpoint": "decide", "status": "ok"},
+        )
+        assert (tune_ok.value, decide_ok.value) == (3.0, 1.0)
+        hist = metrics.histogram(
+            "repro_service_request_seconds", labels={"endpoint": "tune"}
+        )
+        # Every ticket gets its own latency observation, coalesced or not.
+        assert hist.count == 3
+
+    def test_requests_run_under_spans(self):
+        with use_tracer(Tracer()) as tracer:
+            with Scheduler(echo_handler) as sched:
+                sched.perform("tune", {"a": 1}, timeout=5.0)
+            names = [s.name for s in tracer.spans]
+        assert "service.tune" in names
