@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Cold-vs-warm timing smoke for the result cache.
+
+Runs one campaign sweep cold (every point computed) and again warm
+(every point served from the cache), and fails unless the warm run is
+at least ``--min-speedup`` times faster. The ratio is deliberately
+conservative — a healthy warm run is orders of magnitude faster — so
+the gate only trips when caching has effectively stopped working, not
+when a runner is merely slow.
+
+CI usage (see the ``cache`` job in ``.github/workflows/ci.yml``)::
+
+    PYTHONPATH=src python benchmarks/cache_speedup.py --min-speedup 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.cache import ResultCache, set_cache
+from repro.data import load_field
+from repro.hardware.cpu import SKYLAKE_4114
+from repro.workflow.campaign import CheckpointCampaign, run_campaign_sweep
+
+
+def timed_sweep(sample, points, campaign, executor):
+    t0 = time.perf_counter()
+    reports = run_campaign_sweep(
+        SKYLAKE_4114, "sz", sample, points, campaign,
+        repeats=2, executor=executor,
+    )
+    return reports, time.perf_counter() - t0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--min-speedup", type=float, default=3.0,
+                    help="fail below this cold/warm wall-time ratio")
+    ap.add_argument("--points", type=int, default=4,
+                    help="sweep points per run")
+    ap.add_argument("--scale", type=int, default=32,
+                    help="dataset scale divisor (bigger = faster)")
+    ap.add_argument("--executor", default="serial",
+                    choices=("auto", "serial", "thread", "process"),
+                    help="backend for the cold fan-out")
+    args = ap.parse_args(argv)
+
+    sample = load_field("nyx", "velocity_x", scale=args.scale)
+    campaign = CheckpointCampaign(
+        snapshot_bytes=int(16e9), n_snapshots=2, compute_interval_s=600.0
+    )
+    points = tuple(10.0 ** -(1 + i) for i in range(args.points))
+
+    cache = ResultCache()
+    previous = set_cache(cache)
+    try:
+        _, cold_s = timed_sweep(sample, points, campaign, args.executor)
+        # Warm lookups all happen in the parent: serial is the honest
+        # measurement (no pool spin-up noise).
+        _, warm_s = timed_sweep(sample, points, campaign, "serial")
+    finally:
+        set_cache(previous)
+
+    stats = cache.stats()
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    print(f"cold: {cold_s * 1e3:8.1f} ms  ({stats['misses']} misses)")
+    print(f"warm: {warm_s * 1e3:8.1f} ms  ({stats['hits']} hits)")
+    print(f"speedup: {speedup:.1f}x (gate: >= {args.min_speedup:g}x)")
+
+    if stats["misses"] != len(points) or stats["hits"] != len(points):
+        print(f"FAILED: expected {len(points)} misses then "
+              f"{len(points)} hits, got {stats['misses']}/{stats['hits']}",
+              file=sys.stderr)
+        return 1
+    if speedup < args.min_speedup:
+        print(f"FAILED: warm run only {speedup:.1f}x faster "
+              f"(needs {args.min_speedup:g}x)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,8 +31,12 @@ import time
 
 import numpy as np
 
+from repro.cache import ResultCache, set_cache
 from repro.compressors import SZCompressor, ZFPCompressor
+from repro.data import load_field
+from repro.hardware.cpu import SKYLAKE_4114
 from repro.observability import Tracer, use_tracer, write_spans_jsonl
+from repro.workflow.campaign import CheckpointCampaign, run_campaign_sweep
 
 CODECS = {"sz": SZCompressor, "zfp": ZFPCompressor}
 
@@ -95,6 +99,44 @@ def bench_codec(name, data, error_bound=1e-3, repeats=3):
     }
 
 
+def bench_cache():
+    """Cold+warm campaign sweep through a scratch result cache.
+
+    The hit ratio is *deterministic*: the cold pass misses every sweep
+    point, the warm pass hits every one — exactly 0.5. Any drop means a
+    keying regression (something nondeterministic leaked into the
+    fingerprint, or a store stopped landing) and fails the gate; the
+    wall-time speedup is reported but gated separately by
+    ``cache_speedup.py``, since it is machine-dependent.
+    """
+    campaign = CheckpointCampaign(
+        snapshot_bytes=int(4e9), n_snapshots=2, compute_interval_s=600.0
+    )
+    sample = load_field("nyx", "velocity_x", scale=64)
+    points = (1e-1, 1e-2)
+    cache = ResultCache()
+    previous = set_cache(cache)
+    try:
+        t0 = time.perf_counter()
+        run_campaign_sweep(SKYLAKE_4114, "sz", sample, points, campaign,
+                           repeats=1, executor="serial")
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        run_campaign_sweep(SKYLAKE_4114, "sz", sample, points, campaign,
+                           repeats=1, executor="serial")
+        warm_s = time.perf_counter() - t0
+    finally:
+        set_cache(previous)
+    stats = cache.stats()
+    return {
+        "hits": stats["hits"],
+        "misses": stats["misses"],
+        "hit_ratio": cache.hit_ratio,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+    }
+
+
 def compare(current, baseline, tolerance):
     """Return a list of human-readable regression messages (empty = pass)."""
     failures = []
@@ -114,6 +156,15 @@ def compare(current, baseline, tolerance):
             failures.append(
                 f"{codec} ratio dropped: {cur['ratio']:.3f} < "
                 f"{base['ratio']:.3f} * (1 - {RATIO_TOLERANCE:.0%})"
+            )
+    base_cache = baseline.get("cache")
+    cur_cache = current.get("cache")
+    if base_cache is not None and cur_cache is not None:
+        # Deterministic, so no tolerance: every warm lookup must hit.
+        if cur_cache["hit_ratio"] < base_cache["hit_ratio"]:
+            failures.append(
+                f"cache hit_ratio dropped: {cur_cache['hit_ratio']:.3f} < "
+                f"{base_cache['hit_ratio']:.3f} (keying regression?)"
             )
     return failures
 
@@ -164,6 +215,13 @@ def main(argv=None) -> int:
               f"decompress {res['decompress_s'] * 1e3:7.1f} ms "
               f"({res['decompress_norm']:6.1f}x calib), "
               f"ratio {res['ratio']:.2f}x")
+
+    cache_res = bench_cache()
+    report["cache"] = cache_res
+    print(f"cache: hit ratio {cache_res['hit_ratio']:.2f} "
+          f"({cache_res['hits']} hits / {cache_res['misses']} misses), "
+          f"cold {cache_res['cold_s'] * 1e3:.1f} ms, "
+          f"warm {cache_res['warm_s'] * 1e3:.1f} ms")
 
     if args.trace_out:
         write_spans_jsonl(args.trace_out, tracer.spans)

@@ -27,6 +27,7 @@ import sys
 import threading
 import time
 
+from repro.cache import ResultCache, get_cache, set_cache
 from repro.core.persistence import ModelBundle
 from repro.core.power_model import PowerModel
 from repro.core.runtime_model import RuntimeModel
@@ -165,6 +166,12 @@ def report(outcome: dict, threads: int, requests: int) -> None:
           f"({total / outcome['wall_s']:.0f} req/s offered)")
     print(f"  ok={counts['ok']}  rejected={counts['rejected']} "
           f"({reject_rate:.1%})  errors={counts['errors']}")
+    cache = outcome["cache"]
+    lookups = cache["hits"] + cache["misses"]
+    ratio = cache["hits"] / lookups if lookups else 0.0
+    print(f"  cache: hits={cache['hits']}  misses={cache['misses']}  "
+          f"hit ratio={ratio:.1%}  (the load mix repeats itself, so "
+          "0% means the scheduler bypassed the cache)")
     if lat:
         print("  latency (ok only): "
               f"p50={percentile(lat, 0.50) * 1e3:.2f}ms  "
@@ -195,6 +202,9 @@ def main(argv=None) -> int:
     if args.smoke:
         args.threads, args.requests = 4, 10
 
+    # Fresh process-wide cache: the reported hit ratio is this run's.
+    set_cache(ResultCache())
+
     config = ServiceConfig(
         port=0, workers=args.workers, queue_size=args.queue_size,
         batch_max=args.batch_max,
@@ -202,6 +212,8 @@ def main(argv=None) -> int:
     with TuningServer(config) as server:
         server.registry.put("demo", demo_bundle())
         outcome = run_load(server, args.threads, args.requests)
+    stats = get_cache().stats()
+    outcome["cache"] = {"hits": stats["hits"], "misses": stats["misses"]}
     report(outcome, args.threads, args.requests)
 
     counts = outcome["counts"]
@@ -212,6 +224,11 @@ def main(argv=None) -> int:
     if args.smoke and counts["rejected"]:
         print(f"FAILED: smoke run rejected {counts['rejected']} requests "
               f"with queue_size={args.queue_size}", file=sys.stderr)
+        return 1
+    if args.smoke and outcome["cache"]["hits"] == 0:
+        # The smoke mix repeats every payload across threads; zero hits
+        # means the scheduler accidentally stopped consulting the cache.
+        print("FAILED: smoke run recorded zero cache hits", file=sys.stderr)
         return 1
     expected = args.threads * args.requests
     if counts["ok"] + counts["rejected"] != expected:

@@ -1,0 +1,271 @@
+"""The content-addressed result cache.
+
+:class:`ResultCache` composes the two storage tiers behind one
+verified, observable interface:
+
+* **lookup/store** — values travel as canonical JSON text plus a
+  SHA-256 digest of that text; every hit re-verifies the digest and
+  decodes a fresh object (see :mod:`repro.cache.serialization`), so a
+  hit is byte-identical to the cold computation or it raises
+  :class:`~repro.cache.store.CacheCorruptionError` — never silently
+  stale.
+* **single-flight** — :meth:`get_or_compute` elects one leader per key;
+  concurrent identical requests wait and then read the stored entry
+  instead of recomputing. Failures release the waiters, one of which
+  becomes the next leader (errors are never cached).
+* **observability** — ``repro_cache_{hits,misses}_total`` counters are
+  labelled by call-site context, plus eviction/byte counters and
+  ``cache.lookup``/``cache.store`` spans.
+
+A process-wide default instance (:func:`get_cache`) is what the hot
+paths consult; :func:`configure_cache` swaps it (CLI flags do this),
+and tests install scratch instances via :func:`set_cache`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.cache.serialization import decode_value, encode_value
+from repro.cache.store import (
+    CacheCorruptionError,
+    DiskStore,
+    MemoryLRU,
+    text_digest,
+)
+from repro.observability.metrics import get_registry as get_metrics_registry
+from repro.observability.tracer import get_tracer
+
+__all__ = [
+    "ResultCache",
+    "CacheCorruptionError",
+    "get_cache",
+    "set_cache",
+    "configure_cache",
+    "use_cache",
+]
+
+
+class ResultCache:
+    """Two-tier verified result cache with single-flight deduplication."""
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        disk_dir=None,
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = bool(enabled)
+        self._memory = MemoryLRU(max_entries, on_evict=self._on_evict)
+        self._disk = DiskStore(disk_dir) if disk_dir is not None else None
+        self._stats_lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._stored_bytes = 0
+        self._sf_lock = threading.Lock()
+        self._inflight: Dict[str, threading.Event] = {}
+
+    # -- metrics plumbing ----------------------------------------------
+
+    def _on_evict(self, key: str) -> None:
+        with self._stats_lock:
+            self._evictions += 1
+        get_metrics_registry().counter(
+            "repro_cache_evictions_total",
+            help="Entries evicted from the in-memory LRU tier",
+        ).inc()
+
+    def _record_hit(self, context: str) -> None:
+        with self._stats_lock:
+            self._hits += 1
+        get_metrics_registry().counter(
+            "repro_cache_hits_total",
+            labels={"context": context},
+            help="Cache lookups served from a verified entry",
+        ).inc()
+
+    def _record_miss(self, context: str) -> None:
+        with self._stats_lock:
+            self._misses += 1
+        get_metrics_registry().counter(
+            "repro_cache_misses_total",
+            labels={"context": context},
+            help="Cache lookups that fell through to computation",
+        ).inc()
+
+    # -- lookup / store ------------------------------------------------
+
+    def lookup(
+        self, key: str, context: str = "generic", record_miss: bool = True
+    ) -> Tuple[bool, Any]:
+        """``(True, value)`` on a verified hit, else ``(False, None)``.
+
+        *record_miss* lets advisory pre-checks (the service scheduler's
+        submit-time probe) skip the miss counter, so hit/miss totals
+        stay exact: one miss per computation, one hit per served entry.
+        """
+        if not self.enabled:
+            return False, None
+        with get_tracer().span("cache.lookup", context=context) as sp:
+            tier = "memory"
+            entry = self._memory.get(key)
+            if entry is None and self._disk is not None:
+                tier = "disk"
+                entry = self._disk.get(key)
+                if entry is not None:
+                    self._memory.put(key, entry[0], entry[1])
+            if entry is None:
+                sp.set(hit=False)
+                if record_miss:
+                    self._record_miss(context)
+                return False, None
+            text, digest = entry
+            if text_digest(text) != digest:
+                raise CacheCorruptionError(
+                    f"cache entry {key[:12]} failed digest verification; "
+                    "refusing to serve a possibly-stale result"
+                )
+            sp.set(hit=True, tier=tier)
+            self._record_hit(context)
+            return True, decode_value(text)
+
+    def store(self, key: str, value: Any, context: str = "generic") -> None:
+        """Serialize and persist *value* under *key* in both tiers."""
+        if not self.enabled:
+            return
+        text = encode_value(value)
+        digest = text_digest(text)
+        with get_tracer().span(
+            "cache.store", context=context, nbytes=len(text)
+        ):
+            self._memory.put(key, text, digest)
+            if self._disk is not None:
+                self._disk.put(key, text, digest)
+        with self._stats_lock:
+            self._stored_bytes += len(text)
+        get_metrics_registry().counter(
+            "repro_cache_bytes_total",
+            labels={"context": context},
+            help="Canonical bytes written into the cache",
+        ).inc(len(text))
+
+    def get_or_compute(
+        self, key: str, compute: Callable[[], Any], context: str = "generic"
+    ) -> Any:
+        """Serve *key* from cache or compute-and-store it exactly once.
+
+        Concurrent callers with the same key single-flight: one leader
+        runs *compute* (counted as the sole miss) while the rest wait
+        and then read the stored entry (each counted as a hit). A
+        failed leader releases the waiters uncached; the next caller
+        retries, so errors never stick.
+        """
+        if not self.enabled:
+            return compute()
+        while True:
+            hit, value = self.lookup(key, context, record_miss=False)
+            if hit:
+                return value
+            with self._sf_lock:
+                event = self._inflight.get(key)
+                if event is None:
+                    self._inflight[key] = threading.Event()
+                    break
+            event.wait()
+        try:
+            self._record_miss(context)
+            value = compute()
+            self.store(key, value, context)
+            return value
+        finally:
+            with self._sf_lock:
+                event = self._inflight.pop(key, None)
+            if event is not None:
+                event.set()
+
+    # -- maintenance ---------------------------------------------------
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry from every tier; ``True`` if anything existed."""
+        dropped = self._memory.delete(key)
+        if self._disk is not None:
+            dropped = self._disk.delete(key) or dropped
+        return dropped
+
+    def clear(self) -> int:
+        """Empty every tier; returns how many entries were removed."""
+        removed = self._memory.clear()
+        if self._disk is not None:
+            removed += self._disk.clear()
+        return removed
+
+    def stats(self) -> Dict[str, Any]:
+        """Session counters plus per-tier occupancy."""
+        with self._stats_lock:
+            out: Dict[str, Any] = {
+                "enabled": self.enabled,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "stored_bytes": self._stored_bytes,
+            }
+        out["memory_entries"] = len(self._memory)
+        out["memory_bytes"] = self._memory.nbytes()
+        if self._disk is not None:
+            out["disk_dir"] = self._disk.directory
+            out["disk_entries"] = len(self._disk.keys())
+            out["disk_bytes"] = self._disk.nbytes()
+        return out
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over lookups this session (0.0 before any lookup)."""
+        with self._stats_lock:
+            total = self._hits + self._misses
+            return self._hits / total if total else 0.0
+
+
+_GLOBAL_LOCK = threading.Lock()
+_CACHE: Optional[ResultCache] = None
+
+
+def get_cache() -> ResultCache:
+    """The process-wide cache the hot paths consult."""
+    global _CACHE
+    with _GLOBAL_LOCK:
+        if _CACHE is None:
+            _CACHE = ResultCache()
+        return _CACHE
+
+
+def set_cache(cache: ResultCache) -> Optional[ResultCache]:
+    """Install *cache* as the process-wide instance; returns the old one."""
+    global _CACHE
+    with _GLOBAL_LOCK:
+        previous = _CACHE
+        _CACHE = cache
+        return previous
+
+
+def configure_cache(
+    max_entries: int = 256, disk_dir=None, enabled: bool = True
+) -> ResultCache:
+    """Build and install a fresh process-wide cache (CLI flags use this)."""
+    cache = ResultCache(
+        max_entries=max_entries, disk_dir=disk_dir, enabled=enabled
+    )
+    set_cache(cache)
+    return cache
+
+
+@contextlib.contextmanager
+def use_cache(cache: ResultCache):
+    """Temporarily install *cache* (tests); restores the previous one."""
+    previous = set_cache(cache)
+    try:
+        yield cache
+    finally:
+        set_cache(previous if previous is not None else ResultCache())

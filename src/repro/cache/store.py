@@ -1,0 +1,202 @@
+"""Storage tiers for the result cache.
+
+Both tiers hold ``(text, digest)`` pairs — the canonical JSON of a
+value and the SHA-256 of exactly that text. Verification happens on
+every read: a stored entry whose text no longer hashes to its recorded
+digest raises :class:`CacheCorruptionError` instead of being returned.
+The cache never serves a byte it cannot prove it wrote.
+
+The disk layout is one JSON document per key::
+
+    <dir>/<key>.json = {"schema_version": N, "key": ..., "digest": ...,
+                        "value": "<canonical JSON text>"}
+
+``schema_version`` is the library-wide
+:data:`repro.core.persistence.SCHEMA_VERSION`, checked through the same
+:func:`~repro.core.persistence.check_schema_version` helper as model
+bundles — one versioning scheme, one error message, one upgrade hint.
+Writes are atomic (temp file + ``os.replace``) so a crash can leave a
+stale temp file but never a torn entry under the final name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import threading
+from collections import OrderedDict
+from typing import Callable, Optional, Tuple
+
+from repro.core.persistence import SCHEMA_VERSION, check_schema_version
+
+__all__ = ["CacheCorruptionError", "MemoryLRU", "DiskStore", "text_digest"]
+
+_KEY_RE = re.compile(r"^[0-9a-f]{16,64}$")
+
+
+class CacheCorruptionError(ValueError):
+    """A cache entry failed verification; it is never silently served."""
+
+
+def text_digest(text: str) -> str:
+    """SHA-256 of the canonical value text (the stored/verified digest)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _check_key(key: str) -> str:
+    if not isinstance(key, str) or not _KEY_RE.match(key):
+        raise ValueError(f"cache keys are hex fingerprints, got {key!r}")
+    return key
+
+
+class MemoryLRU:
+    """Thread-safe in-memory LRU tier over ``(text, digest)`` entries."""
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        on_evict: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[str, Tuple[str, str]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._on_evict = on_evict
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> Optional[Tuple[str, str]]:
+        """The entry for *key* (refreshing recency), or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: str, text: str, digest: str) -> None:
+        evicted = []
+        with self._lock:
+            self._entries[key] = (text, digest)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                evicted.append(self._entries.popitem(last=False)[0])
+        if self._on_evict is not None:
+            for old in evicted:
+                self._on_evict(old)
+
+    def delete(self, key: str) -> bool:
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def clear(self) -> int:
+        with self._lock:
+            n = len(self._entries)
+            self._entries.clear()
+            return n
+
+    def keys(self) -> Tuple[str, ...]:
+        """Current keys, least- to most-recently used."""
+        with self._lock:
+            return tuple(self._entries)
+
+    def nbytes(self) -> int:
+        with self._lock:
+            return sum(len(t.encode("utf-8")) for t, _ in self._entries.values())
+
+
+class DiskStore:
+    """One-JSON-file-per-key persistent tier."""
+
+    def __init__(self, directory) -> None:
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self._lock = threading.Lock()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, _check_key(key) + ".json")
+
+    def get(self, key: str) -> Optional[Tuple[str, str]]:
+        """Read and verify the entry for *key*; ``None`` when absent.
+
+        Raises :class:`CacheCorruptionError` for torn/tampered files and
+        the shared schema :class:`ValueError` for version mismatches.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                raw = fh.read()
+        except FileNotFoundError:
+            return None
+        try:
+            doc = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise CacheCorruptionError(
+                f"cache entry {key[:12]} is not valid JSON "
+                f"(torn write or tampering): {exc}"
+            ) from exc
+        check_schema_version(doc, kind="cache entry")
+        text, digest = doc.get("value"), doc.get("digest")
+        if not isinstance(text, str) or not isinstance(digest, str):
+            raise CacheCorruptionError(
+                f"cache entry {key[:12]} is missing its value or digest"
+            )
+        if doc.get("key") != key:
+            raise CacheCorruptionError(
+                f"cache entry {key[:12]} records key "
+                f"{str(doc.get('key'))[:12]!r}; the store is inconsistent"
+            )
+        if text_digest(text) != digest:
+            raise CacheCorruptionError(
+                f"cache entry {key[:12]} failed digest verification; "
+                "refusing to serve a possibly-stale result"
+            )
+        return text, digest
+
+    def put(self, key: str, text: str, digest: str) -> None:
+        path = self._path(key)
+        doc = {
+            "schema_version": SCHEMA_VERSION,
+            "key": key,
+            "digest": digest,
+            "value": text,
+        }
+        body = json.dumps(doc, sort_keys=True)
+        tmp = path + ".tmp"
+        with self._lock:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(body)
+            os.replace(tmp, path)
+
+    def delete(self, key: str) -> bool:
+        try:
+            os.remove(self._path(key))
+            return True
+        except FileNotFoundError:
+            return False
+
+    def keys(self) -> Tuple[str, ...]:
+        names = sorted(os.listdir(self.directory))
+        return tuple(
+            n[:-len(".json")] for n in names
+            if n.endswith(".json") and _KEY_RE.match(n[:-len(".json")])
+        )
+
+    def clear(self) -> int:
+        removed = 0
+        for key in self.keys():
+            removed += bool(self.delete(key))
+        return removed
+
+    def nbytes(self) -> int:
+        total = 0
+        for key in self.keys():
+            try:
+                total += os.path.getsize(self._path(key))
+            except OSError:
+                continue
+        return total

@@ -83,6 +83,32 @@ def _load_fault_plan(args):
     return plan
 
 
+def _add_cache_args(p: argparse.ArgumentParser) -> None:
+    """--cache-dir/--no-cache knobs for the result-cache-aware commands."""
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="persist the result cache here (survives runs; "
+                        "see docs/CACHING.md)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the result cache for this command")
+
+
+def _install_cache(args):
+    """Apply --cache-dir/--no-cache; returns a restore callable (or None).
+
+    Only commands that declare the cache flags touch the global cache;
+    the caller invokes the returned callable when the command finishes
+    so the process-wide cache is exactly what it was before.
+    """
+    cache_dir = getattr(args, "cache_dir", None)
+    no_cache = getattr(args, "no_cache", False)
+    if cache_dir is None and not no_cache:
+        return None
+    from repro.cache import ResultCache, set_cache
+
+    previous = set_cache(ResultCache(disk_dir=cache_dir, enabled=not no_cache))
+    return lambda: set_cache(previous)
+
+
 def _add_observability_args(p: argparse.ArgumentParser) -> None:
     """--trace-out/--metrics-out/--trace-summary artifact knobs.
 
@@ -143,6 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--curve", choices=("calibrated", "physical"),
                    default="calibrated", help="ground-truth power curve")
+    _add_cache_args(p)
     _add_observability_args(p)
 
     p = sub.add_parser("tune", help="print recommendations from saved models")
@@ -151,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--objective", choices=("power", "energy", "edp", "ed2p"),
                    default="energy",
                    help="objective for --policy optimal")
+    _add_cache_args(p)
 
     p = sub.add_parser("dump", help="simulate a compress-and-dump with tuning")
     p.add_argument("--models", required=True)
@@ -165,6 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shard the ratio measurement into slabs of this size")
     _add_executor_args(p)
     _add_fault_args(p)
+    _add_cache_args(p)
     _add_observability_args(p)
 
     p = sub.add_parser("faults",
@@ -204,6 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "of this size (traces then show chunk/slab stages)")
     _add_executor_args(p)
     _add_fault_args(p)
+    _add_cache_args(p)
     _add_observability_args(p)
 
     p = sub.add_parser("serve",
@@ -228,7 +258,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "answers 504)")
     p.add_argument("--max-jobs", type=int, default=4,
                    help="max unfinished characterize jobs before 429")
+    _add_cache_args(p)
     _add_observability_args(p)
+
+    p = sub.add_parser("cache",
+                       help="inspect or clear a persisted result cache")
+    cache_sub = p.add_subparsers(dest="action", required=True)
+    ps = cache_sub.add_parser("stats", help="print cache occupancy and counters")
+    ps.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="on-disk cache to inspect (default: this "
+                         "process's in-memory cache)")
+    pc = cache_sub.add_parser("clear", help="delete every cached entry")
+    pc.add_argument("--cache-dir", required=True, metavar="DIR",
+                    help="on-disk cache to clear")
 
     p = sub.add_parser("cluster",
                        help="simulate an N-node dump through a shared NFS")
@@ -528,12 +570,14 @@ def _cmd_campaign(args) -> int:
     from repro.compressors import SZCompressor
     from repro.data.registry import load_field
     from repro.hardware.cpu import get_cpu
-    from repro.hardware.node import SimulatedNode
-    from repro.workflow.campaign import CheckpointCampaign, run_campaign
+    from repro.workflow.campaign import (
+        CampaignPoint,
+        CheckpointCampaign,
+        run_campaign_sweep,
+    )
 
     _check_executor_args(args)
     cpu = get_cpu(args.arch)
-    node = SimulatedNode(cpu, seed=0)
     arr = load_field("nyx", "velocity_x", scale=args.scale)
     campaign = CheckpointCampaign(
         snapshot_bytes=int(args.snapshot_gb * 1e9),
@@ -542,15 +586,20 @@ def _cmd_campaign(args) -> int:
     )
     chunk_bytes = None if args.chunk_mb is None else int(args.chunk_mb * 1e6)
     plan = _load_fault_plan(args)
-    base = run_campaign(
-        node, SZCompressor(), arr, args.error_bound, campaign,
-        chunk_bytes=chunk_bytes, executor=args.executor, workers=args.workers,
-        fault_plan=plan,
-    )
-    tuned = run_campaign(
-        node, SZCompressor(), arr, args.error_bound, campaign,
-        compress_freq_ghz=cpu.snap_frequency(0.875 * cpu.fmax_ghz),
-        write_freq_ghz=cpu.snap_frequency(0.85 * cpu.fmax_ghz),
+    # Base and tuned are two points of one cached sweep: each runs on a
+    # fresh seed-0 node (mutually comparable), and with --cache-dir a
+    # re-run recomputes nothing.
+    base, tuned = run_campaign_sweep(
+        cpu, SZCompressor(), arr,
+        (
+            CampaignPoint(error_bound=args.error_bound),
+            CampaignPoint(
+                error_bound=args.error_bound,
+                compress_freq_ghz=cpu.snap_frequency(0.875 * cpu.fmax_ghz),
+                write_freq_ghz=cpu.snap_frequency(0.85 * cpu.fmax_ghz),
+            ),
+        ),
+        campaign,
         chunk_bytes=chunk_bytes, executor=args.executor, workers=args.workers,
         fault_plan=plan,
     )
@@ -595,6 +644,31 @@ def _cmd_faults(args) -> int:
         print(f"example fault plan written to {args.output}")
     else:
         print(doc)
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.cache import ResultCache, get_cache
+
+    if args.action == "clear":
+        removed = ResultCache(disk_dir=args.cache_dir).clear()
+        print(f"{args.cache_dir}: {removed} entrie(s) removed")
+        return 0
+    # action == "stats"
+    cache = (
+        ResultCache(disk_dir=args.cache_dir)
+        if args.cache_dir is not None else get_cache()
+    )
+    stats = cache.stats()
+    print(f"enabled        : {stats['enabled']}")
+    print(f"hits / misses  : {stats['hits']} / {stats['misses']}")
+    print(f"evictions      : {stats['evictions']}")
+    print(f"memory entries : {stats['memory_entries']} "
+          f"({stats['memory_bytes']} bytes)")
+    if "disk_dir" in stats:
+        print(f"disk dir       : {stats['disk_dir']}")
+        print(f"disk entries   : {stats['disk_entries']} "
+              f"({stats['disk_bytes']} bytes)")
     return 0
 
 
@@ -694,6 +768,7 @@ _HANDLERS = {
     "campaign": _cmd_campaign,
     "cluster": _cmd_cluster,
     "serve": _cmd_serve,
+    "cache": _cmd_cache,
 }
 
 
@@ -729,12 +804,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         tracer = Tracer()
         set_tracer(tracer)
+    restore_cache = _install_cache(args)
     try:
         return _HANDLERS[args.command](args)
     except (ValueError, KeyError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     finally:
+        if restore_cache is not None:
+            restore_cache()
         if tracer is not None:
             from repro.observability import NullTracer, set_tracer
 

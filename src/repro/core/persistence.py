@@ -18,9 +18,35 @@ from repro.core.power_model import PowerModel
 from repro.core.runtime_model import RuntimeModel
 from repro.utils.stats import GoodnessOfFit
 
-__all__ = ["ModelBundle", "SCHEMA_VERSION"]
+__all__ = ["ModelBundle", "SCHEMA_VERSION", "check_schema_version"]
 
 SCHEMA_VERSION = 1
+
+
+def check_schema_version(doc: object, *, kind: str = "model bundle") -> None:
+    """Validate a parsed document's ``schema_version`` against this build.
+
+    Shared by every schema-versioned JSON artifact (model bundles, cache
+    entries) so they all fail the same way: a :class:`ValueError` naming
+    the problem, with a *newer*-than-this-build version called out
+    explicitly so operators know to upgrade rather than suspect
+    corruption.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError(
+            f"not a valid {kind}: expected a JSON object, "
+            f"got {type(doc).__name__}"
+        )
+    if "schema_version" not in doc:
+        raise ValueError(f"not a valid {kind}: missing 'schema_version'")
+    version = doc["schema_version"]
+    if not isinstance(version, int) or version != SCHEMA_VERSION:
+        hint = (
+            "written by a newer build of this library; upgrade to read it"
+            if isinstance(version, int) and version > SCHEMA_VERSION
+            else f"this build reads version {SCHEMA_VERSION}"
+        )
+        raise ValueError(f"unsupported {kind} schema {version!r} ({hint})")
 
 #: The model maps every bundle document must carry, schema v1.
 _REQUIRED_SECTIONS = (
@@ -115,25 +141,7 @@ class ModelBundle:
             doc = json.loads(text)
         except json.JSONDecodeError as exc:
             raise ValueError(f"not a valid model bundle: {exc}") from exc
-        if not isinstance(doc, dict):
-            raise ValueError(
-                f"not a valid model bundle: expected a JSON object, "
-                f"got {type(doc).__name__}"
-            )
-        if "schema_version" not in doc:
-            raise ValueError(
-                "not a valid model bundle: missing 'schema_version'"
-            )
-        version = doc["schema_version"]
-        if not isinstance(version, int) or version != SCHEMA_VERSION:
-            hint = (
-                "written by a newer build of this library; upgrade to read it"
-                if isinstance(version, int) and version > SCHEMA_VERSION
-                else f"this build reads version {SCHEMA_VERSION}"
-            )
-            raise ValueError(
-                f"unsupported model bundle schema {version!r} ({hint})"
-            )
+        check_schema_version(doc, kind="model bundle")
         missing = [s for s in _REQUIRED_SECTIONS if s not in doc]
         if missing:
             raise ValueError(

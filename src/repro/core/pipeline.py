@@ -20,6 +20,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cache import fingerprint, get_cache
 from repro.compressors.base import Compressor, get_compressor
 from repro.core.energy import SavingsReport, compare_reports
 from repro.core.partitions import (
@@ -42,6 +43,22 @@ from repro.observability import get_tracer
 __all__ = ["PipelineOutcome", "TunedIOPipeline"]
 
 _TRANSIT_GROUP_KEYS = ("cpu", "size_gb")
+
+
+def _cached_fit(kind: str, samples: SampleSet, spec, compute):
+    """Memoize a model fit on the content of its input samples.
+
+    Fitting is pure in (samples, partition/arch spec), so the key is a
+    fingerprint of every record plus the spec; identical sweeps reuse
+    the fitted ``P(f)=a·f^b+c`` / runtime models without recomputation.
+    All fits share the ``pipeline.fit`` metric context, which is what
+    the differential harness watches to prove a warm run refits nothing.
+    """
+    cache = get_cache()
+    if not cache.enabled:
+        return compute()
+    key = fingerprint(kind=kind, records=[dict(r) for r in samples], spec=spec)
+    return cache.get_or_compute(key, compute, context="pipeline.fit")
 
 
 @dataclass
@@ -96,15 +113,31 @@ class TunedIOPipeline:
                 )
 
             with tracer.span("pipeline.fit"):
-                comp_models = fit_partition_models(comp, COMPRESSION_PARTITIONS)
-                tran_models = fit_partition_models(tran, TRANSIT_PARTITIONS)
+                comp_models = _cached_fit(
+                    "fit.compression.power", comp, COMPRESSION_PARTITIONS,
+                    lambda: fit_partition_models(comp, COMPRESSION_PARTITIONS),
+                )
+                tran_models = _cached_fit(
+                    "fit.transit.power", tran, TRANSIT_PARTITIONS,
+                    lambda: fit_partition_models(tran, TRANSIT_PARTITIONS),
+                )
 
                 comp_runtime = {
-                    arch: fit_runtime_model(f"compress-{arch}", comp.filter(cpu=arch))
+                    arch: _cached_fit(
+                        "fit.compression.runtime", comp.filter(cpu=arch), arch,
+                        lambda arch=arch: fit_runtime_model(
+                            f"compress-{arch}", comp.filter(cpu=arch)
+                        ),
+                    )
                     for arch in comp.unique("cpu")
                 }
                 tran_runtime = {
-                    arch: fit_runtime_model(f"write-{arch}", tran.filter(cpu=arch))
+                    arch: _cached_fit(
+                        "fit.transit.runtime", tran.filter(cpu=arch), arch,
+                        lambda arch=arch: fit_runtime_model(
+                            f"write-{arch}", tran.filter(cpu=arch)
+                        ),
+                    )
                     for arch in tran.unique("cpu")
                 }
         return PipelineOutcome(

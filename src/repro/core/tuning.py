@@ -120,6 +120,29 @@ def recommend_from_models(
     """
     if stage not in ("compress", "write"):
         raise ValueError(f"stage must be 'compress' or 'write', got {stage!r}")
+    from repro.cache import fingerprint, get_cache
+
+    cache = get_cache()
+    if not cache.enabled:
+        return _recommend(cpu, stage, power_model, runtime_model, policy)
+    key = fingerprint(
+        kind="tuning.recommend", cpu=cpu, stage=stage,
+        power=power_model, runtime=runtime_model, policy=policy,
+    )
+    return cache.get_or_compute(
+        key,
+        lambda: _recommend(cpu, stage, power_model, runtime_model, policy),
+        context="tuning.recommend",
+    )
+
+
+def _recommend(
+    cpu: CpuSpec,
+    stage: str,
+    power_model: PowerModel,
+    runtime_model: RuntimeModel,
+    policy: TuningPolicy | None,
+) -> TuningRecommendation:
     if policy is not None:
         kind = WorkloadKind.COMPRESS_SZ if stage == "compress" else WorkloadKind.WRITE
         freq = policy.frequency_for(cpu, kind)

@@ -39,6 +39,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from repro.cache import fingerprint, get_cache
 from repro.observability.exporters import prometheus_text
 from repro.observability.metrics import get_registry as get_metrics_registry
 from repro.service.errors import (
@@ -70,6 +71,7 @@ class ServiceConfig:
         default_deadline_s: Optional[float] = 30.0,
         max_pending_jobs: int = 4,
         registry_cache: int = 8,
+        cache_enabled: bool = True,
     ) -> None:
         self.host = host
         self.port = int(port)
@@ -79,6 +81,8 @@ class ServiceConfig:
         self.default_deadline_s = default_deadline_s
         self.max_pending_jobs = int(max_pending_jobs)
         self.registry_cache = int(registry_cache)
+        #: Consult the process result cache for tune/decide responses.
+        self.cache_enabled = bool(cache_enabled)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -174,12 +178,15 @@ class TuningServer:
             cache_size=self.config.registry_cache
         )
         self.handlers = RequestHandlers(self.registry)
+        self.cache = get_cache() if self.config.cache_enabled else None
         self.scheduler = scheduler if scheduler is not None else Scheduler(
             self.handlers,
             queue_size=self.config.queue_size,
             workers=self.config.workers,
             batch_max=self.config.batch_max,
             default_deadline_s=self.config.default_deadline_s,
+            cache=self.cache,
+            cache_key_fn=self.cache_key if self.cache is not None else None,
         )
         self.jobs = jobs if jobs is not None else JobManager(
             max_pending=self.config.max_pending_jobs
@@ -192,6 +199,36 @@ class TuningServer:
         self._serve_thread: Optional[threading.Thread] = None
         self._draining = threading.Event()
         self._drained = threading.Event()
+
+    # -- caching -------------------------------------------------------
+
+    def cache_key(self, kind: str, payload: Dict[str, Any]) -> Optional[str]:
+        """Content fingerprint for a cacheable request, else ``None``.
+
+        ``decide`` is pure in its payload. ``tune`` additionally folds
+        in the resolved registry entry's bundle fingerprint, so
+        registering a new model version under the same name invalidates
+        the cached answers for it automatically. Requests whose model
+        cannot be resolved return ``None`` and fall through to the
+        handler, which raises the proper typed error.
+        """
+        if not isinstance(payload, dict):
+            return None
+        if kind == "decide":
+            return fingerprint(kind="service.decide", payload=payload)
+        if kind == "tune":
+            version = payload.get("version")
+            try:
+                if version is not None:
+                    version = int(version)
+                entry = self.registry.entry(str(payload.get("model")), version)
+            except (ServiceError, TypeError, ValueError):
+                return None
+            return fingerprint(
+                kind="service.tune", payload=payload,
+                bundle=entry.fingerprint,
+            )
+        return None
 
     # -- addressing ----------------------------------------------------
 

@@ -100,6 +100,7 @@ class _Group:
     kind: str
     payload: Dict[str, Any]
     tickets: List[Ticket] = field(default_factory=list)
+    cache_key: Optional[str] = None
 
 
 def _coalesce_key(kind: str, payload: Dict[str, Any]) -> str:
@@ -129,6 +130,14 @@ class Scheduler:
     default_deadline_s:
         Deadline applied when a request does not carry one (``None``
         disables).
+    cache / cache_key_fn:
+        An optional :class:`repro.cache.ResultCache` consulted *before*
+        dispatch: ``cache_key_fn(kind, payload)`` returns a fingerprint
+        (or ``None`` for uncacheable requests). A submit-time hit
+        resolves the ticket immediately — no queue, no batch — and a
+        computed group stores through :meth:`ResultCache.get_or_compute`
+        so identical in-flight groups single-flight across batches.
+        Errors are never cached.
     """
 
     def __init__(
@@ -139,12 +148,18 @@ class Scheduler:
         executor: str = "thread",
         batch_max: int = 16,
         default_deadline_s: Optional[float] = None,
+        cache=None,
+        cache_key_fn: Optional[Callable[[str, Dict[str, Any]], Optional[str]]] = None,
     ) -> None:
         if queue_size < 1:
             raise ValueError(f"queue_size must be >= 1, got {queue_size}")
         if batch_max < 1:
             raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+        if cache is not None and cache_key_fn is None:
+            raise ValueError("cache requires a cache_key_fn")
         self._handler = handler
+        self._cache = cache
+        self._cache_key_fn = cache_key_fn
         self._queue: "queue.Queue[Ticket]" = queue.Queue(maxsize=queue_size)
         self._executor: Executor = get_executor(executor, workers)
         self.batch_max = int(batch_max)
@@ -201,6 +216,19 @@ class Scheduler:
             deadline_at=None if deadline_s is None else now + float(deadline_s),
             enqueued_at=now,
         )
+        # A cache hit answers at admission time: no queue slot, no
+        # batch, no worker. The probe records hits only — the
+        # authoritative miss is counted by the computing group, so
+        # hit/miss totals stay exact (one miss per computation).
+        if self._cache is not None and self._cache.enabled:
+            key = self._cache_key_fn(kind, payload)
+            if key is not None:
+                hit, value = self._cache.lookup(
+                    key, context=f"service.{kind}", record_miss=False
+                )
+                if hit:
+                    self._finish(ticket, result=value)
+                    return ticket
         try:
             self._queue.put_nowait(ticket)
         except queue.Full:
@@ -255,7 +283,12 @@ class Scheduler:
             key = _coalesce_key(ticket.kind, ticket.payload)
             group = groups.get(key)
             if group is None:
-                groups[key] = group = _Group(ticket.kind, ticket.payload)
+                cache_key = None
+                if self._cache is not None and self._cache.enabled:
+                    cache_key = self._cache_key_fn(ticket.kind, ticket.payload)
+                groups[key] = group = _Group(
+                    ticket.kind, ticket.payload, cache_key=cache_key
+                )
             else:
                 self._coalesced.inc()
             group.tickets.append(ticket)
@@ -277,7 +310,15 @@ class Scheduler:
         try:
             with tracer.span(f"service.{group.kind}",
                              waiters=len(group.tickets)):
-                return self._handler(group.kind, group.payload), None
+                if group.cache_key is not None:
+                    result = self._cache.get_or_compute(
+                        group.cache_key,
+                        lambda: self._handler(group.kind, group.payload),
+                        context=f"service.{group.kind}",
+                    )
+                else:
+                    result = self._handler(group.kind, group.payload)
+                return result, None
         except ServiceError as exc:
             return None, exc
         except Exception as exc:

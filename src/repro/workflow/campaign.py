@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cache import fingerprint, get_cache
 from repro.compressors.base import Compressor, get_compressor
 from repro.hardware.cpu import CpuSpec
 from repro.hardware.node import SimulatedNode
@@ -213,6 +214,7 @@ def _run_campaign_point(
     repeats: int,
     seed: int,
     fault_plan: Optional["FaultPlan"],
+    chunk_bytes: Optional[int],
     point: CampaignPoint,
 ) -> CampaignReport:
     """Module-level so process-pool workers can pickle the task.
@@ -231,6 +233,7 @@ def _run_campaign_point(
         write_freq_ghz=point.write_freq_ghz,
         nfs=nfs,
         repeats=repeats,
+        chunk_bytes=chunk_bytes,
         fault_plan=fault_plan,
     )
 
@@ -247,6 +250,7 @@ def run_campaign_sweep(
     executor: "Executor | str" = "auto",
     workers: Optional[int] = None,
     fault_plan: Optional["FaultPlan"] = None,
+    chunk_bytes: Optional[int] = None,
 ) -> Tuple[CampaignReport, ...]:
     """Play the campaign at every sweep point, points in parallel.
 
@@ -256,7 +260,9 @@ def run_campaign_sweep(
     *fault_plan*'s triggers are keyed on logical coordinates, so faulted
     sweeps stay backend-identical too). The sweep fans out through
     :mod:`repro.parallel` — process pools pay off once the per-point
-    codec work dominates the fork cost.
+    codec work dominates the fork cost. *chunk_bytes* shards each
+    snapshot's ratio measurement (and joins the cache key, since it
+    shapes the reports' parallel-stage annotations).
     """
     if not points:
         raise ValueError("points must be non-empty")
@@ -266,6 +272,39 @@ def run_campaign_sweep(
     )
     codec_name = compressor if isinstance(compressor, str) else compressor.name
     get_compressor(codec_name)  # fail fast on unknown codecs
+
+    # Incremental recomputation: every point is pure in (cpu, codec,
+    # field, campaign, nfs, repeats, seed, fault plan, point) — each
+    # fresh-node run is content-addressable. Lookups and stores happen
+    # here in the parent, so cache state never depends on the executor
+    # backend; only the dirty points fan out through the pool.
+    cache = get_cache()
+    reports: list = [None] * len(resolved)
+    keys: list = []
+    miss_indices = list(range(len(resolved)))
+    if cache.enabled:
+        miss_indices = []
+        for i, point in enumerate(resolved):
+            key = fingerprint(
+                kind="campaign.point",
+                cpu=cpu,
+                codec=codec_name,
+                field=sample_field,
+                campaign=campaign,
+                nfs=nfs,
+                repeats=int(repeats),
+                seed=int(seed),
+                fault_plan=fault_plan,
+                chunk=None if chunk_bytes is None else int(chunk_bytes),
+                point=point,
+            )
+            keys.append(key)
+            hit, value = cache.lookup(key, context="campaign.point")
+            if hit:
+                reports[i] = value
+            else:
+                miss_indices.append(i)
+
     fn = partial(
         _run_campaign_point,
         cpu,
@@ -276,25 +315,34 @@ def run_campaign_sweep(
         int(repeats),
         int(seed),
         fault_plan,
+        None if chunk_bytes is None else int(chunk_bytes),
     )
-    pool, owned = resolve_executor(
-        executor,
-        workers,
-        n_tasks=len(resolved),
-        task_nbytes=sample_field.nbytes * campaign.n_snapshots,
-        codec_cost=4.0,
-    )
+    pool = owned = None
+    if miss_indices:
+        pool, owned = resolve_executor(
+            executor,
+            workers,
+            n_tasks=len(miss_indices),
+            task_nbytes=sample_field.nbytes * campaign.n_snapshots,
+            codec_cost=4.0,
+        )
     # Points may fan out to worker processes, whose spans are invisible
     # here; the sweep-level span still records the fan-out shape.
     with get_tracer().span(
         "campaign.sweep",
         points=len(resolved),
-        executor=pool.name,
-        workers=pool.workers,
+        cached=len(resolved) - len(miss_indices),
+        executor=pool.name if pool is not None else "cache",
+        workers=pool.workers if pool is not None else 0,
     ):
-        try:
-            reports = pool.map(fn, resolved)
-        finally:
-            if owned:
-                pool.close()
+        if miss_indices:
+            try:
+                fresh = pool.map(fn, [resolved[i] for i in miss_indices])
+            finally:
+                if owned:
+                    pool.close()
+            for i, report in zip(miss_indices, fresh):
+                reports[i] = report
+                if cache.enabled:
+                    cache.store(keys[i], report, context="campaign.point")
     return tuple(reports)

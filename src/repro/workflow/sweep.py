@@ -13,6 +13,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cache import describe_node, fingerprint, get_cache
 from repro.compressors.base import get_compressor
 from repro.core.samples import SampleSet
 from repro.data.registry import load_field
@@ -92,6 +93,71 @@ def _frequency_grid(cpu: CpuSpec, stride: int) -> np.ndarray:
     return subset
 
 
+def _cached_node_block(context: str, node: SimulatedNode, key_parts: Dict,
+                       runner):
+    """Run one node's sweep block through the result cache.
+
+    The per-node block (not the per-cell sample) is the cacheable unit:
+    cells share the node's sequential noise stream, so a cell served
+    out of order would desynchronize the RNG. The cached entry stores
+    the records *and* the node's post-block RNG state and pinned
+    frequency; a hit replays both, leaving the node exactly where a
+    cold run would have left it — downstream sweeps on the same node
+    stay byte-identical either way.
+    """
+    cache = get_cache()
+    if not cache.enabled:
+        return runner()
+    key = fingerprint(kind=context, node=describe_node(node), **key_parts)
+
+    def compute():
+        records = runner()
+        return {
+            "records": records,
+            "rng_state": node._rng.bit_generator.state,
+            "freq_ghz": node.frequency_ghz,
+        }
+
+    entry = cache.get_or_compute(key, compute, context=context)
+    node._rng.bit_generator.state = entry["rng_state"]
+    node.set_frequency(entry["freq_ghz"])
+    return entry["records"]
+
+
+def _measured_ratios(
+    arrays: Dict[Tuple[str, str], np.ndarray], config: SweepConfig
+) -> Dict[Tuple[str, str, str, float], float]:
+    """True compression ratios per (codec, dataset, field, bound).
+
+    The real codecs are the expensive, perfectly deterministic part of
+    a sweep, so each (codec, array, bound) cell goes through the cache
+    keyed on the array's content digest.
+    """
+    ratios: Dict[Tuple[str, str, str, float], float] = {}
+    if not config.measure_ratios:
+        return ratios
+    cache = get_cache()
+    for codec_name in config.compressors:
+        codec = get_compressor(codec_name)
+        for (ds, fl), arr in arrays.items():
+            for eb in config.error_bounds:
+                def compute(codec=codec, arr=arr, eb=eb):
+                    return float(codec.compress(arr, eb).ratio)
+
+                if cache.enabled:
+                    key = fingerprint(
+                        kind="sweep.ratio", codec=codec_name,
+                        error_bound=eb, data=arr,
+                    )
+                    ratio = cache.get_or_compute(
+                        key, compute, context="sweep.ratio"
+                    )
+                else:
+                    ratio = compute()
+                ratios[(codec_name, ds, fl, eb)] = ratio
+    return ratios
+
+
 def compression_sweep(
     nodes: Sequence[SimulatedNode],
     config: SweepConfig = SweepConfig(),
@@ -100,50 +166,55 @@ def compression_sweep(
 
     Returns one record per (cpu, compressor, dataset-field, error bound,
     frequency) with averaged power/runtime/energy, the raw repeats, and
-    the true compression ratio.
+    the true compression ratio. Per-node blocks and per-cell codec
+    ratios are served through :mod:`repro.cache` when warm.
     """
     samples = SampleSet()
     arrays: Dict[Tuple[str, str], np.ndarray] = {
         (ds, fl): load_field(ds, fl, scale=config.data_scale, seed=config.seed)
         for ds, fl in config.datasets
     }
-    ratios: Dict[Tuple[str, str, str, float], float] = {}
-    if config.measure_ratios:
-        for codec_name in config.compressors:
-            codec = get_compressor(codec_name)
-            for (ds, fl), arr in arrays.items():
-                for eb in config.error_bounds:
-                    ratios[(codec_name, ds, fl, eb)] = codec.compress(arr, eb).ratio
+    ratios = _measured_ratios(arrays, config)
 
     for node in nodes:
-        perf = PerfStat(node, repeats=config.repeats)
-        freqs = _frequency_grid(node.cpu, config.frequency_stride)
-        for codec_name in config.compressors:
-            kind = _KIND_BY_CODEC[codec_name]
-            for (ds, fl), arr in arrays.items():
-                for eb in config.error_bounds:
-                    wl = compression_workload(
-                        kind, arr.nbytes, eb, name=f"{codec_name}:{ds}/{fl}@eb={eb:g}"
-                    )
-                    for sample in perf.sweep(wl, freqs):
-                        samples.append(
-                            {
-                                "cpu": sample.cpu,
-                                "compressor": codec_name,
-                                "dataset": ds,
-                                "field": fl,
-                                "error_bound": eb,
-                                "freq_ghz": sample.freq_ghz,
-                                "power_w": sample.power_w,
-                                "runtime_s": sample.runtime_s,
-                                "energy_j": sample.energy_j,
-                                "power_samples": sample.power_samples,
-                                "runtime_samples": sample.runtime_samples,
-                                "ratio": ratios.get(
-                                    (codec_name, ds, fl, eb), float("nan")
-                                ),
-                            }
+        def run_block(node=node):
+            perf = PerfStat(node, repeats=config.repeats)
+            freqs = _frequency_grid(node.cpu, config.frequency_stride)
+            records = []
+            for codec_name in config.compressors:
+                kind = _KIND_BY_CODEC[codec_name]
+                for (ds, fl), arr in arrays.items():
+                    for eb in config.error_bounds:
+                        wl = compression_workload(
+                            kind, arr.nbytes, eb,
+                            name=f"{codec_name}:{ds}/{fl}@eb={eb:g}",
                         )
+                        for sample in perf.sweep(wl, freqs):
+                            records.append(
+                                {
+                                    "cpu": sample.cpu,
+                                    "compressor": codec_name,
+                                    "dataset": ds,
+                                    "field": fl,
+                                    "error_bound": eb,
+                                    "freq_ghz": sample.freq_ghz,
+                                    "power_w": sample.power_w,
+                                    "runtime_s": sample.runtime_s,
+                                    "energy_j": sample.energy_j,
+                                    "power_samples": sample.power_samples,
+                                    "runtime_samples": sample.runtime_samples,
+                                    "ratio": ratios.get(
+                                        (codec_name, ds, fl, eb), float("nan")
+                                    ),
+                                }
+                            )
+            return records
+
+        samples.extend(
+            _cached_node_block(
+                "sweep.compression", node, {"config": config}, run_block
+            )
+        )
     return samples
 
 
@@ -156,23 +227,35 @@ def transit_sweep(
     nfs = nfs if nfs is not None else NfsTarget()
     samples = SampleSet()
     for node in nodes:
-        perf = PerfStat(node, repeats=config.repeats)
-        freqs = _frequency_grid(node.cpu, config.frequency_stride)
-        for size_gb in config.transit_sizes_gb:
-            wl = transit_workload(int(size_gb * 1e9), nfs, name=f"write@{size_gb:g}GB")
-            for sample in perf.sweep(wl, freqs):
-                samples.append(
-                    {
-                        "cpu": sample.cpu,
-                        "size_gb": size_gb,
-                        "freq_ghz": sample.freq_ghz,
-                        "power_w": sample.power_w,
-                        "runtime_s": sample.runtime_s,
-                        "energy_j": sample.energy_j,
-                        "power_samples": sample.power_samples,
-                        "runtime_samples": sample.runtime_samples,
-                    }
+        def run_block(node=node):
+            perf = PerfStat(node, repeats=config.repeats)
+            freqs = _frequency_grid(node.cpu, config.frequency_stride)
+            records = []
+            for size_gb in config.transit_sizes_gb:
+                wl = transit_workload(
+                    int(size_gb * 1e9), nfs, name=f"write@{size_gb:g}GB"
                 )
+                for sample in perf.sweep(wl, freqs):
+                    records.append(
+                        {
+                            "cpu": sample.cpu,
+                            "size_gb": size_gb,
+                            "freq_ghz": sample.freq_ghz,
+                            "power_w": sample.power_w,
+                            "runtime_s": sample.runtime_s,
+                            "energy_j": sample.energy_j,
+                            "power_samples": sample.power_samples,
+                            "runtime_samples": sample.runtime_samples,
+                        }
+                    )
+            return records
+
+        samples.extend(
+            _cached_node_block(
+                "sweep.transit", node, {"config": config, "nfs": nfs},
+                run_block,
+            )
+        )
     return samples
 
 
@@ -193,32 +276,41 @@ def decompression_sweep(
         for ds, fl in config.datasets
     }
     for node in nodes:
-        perf = PerfStat(node, repeats=config.repeats)
-        freqs = _frequency_grid(node.cpu, config.frequency_stride)
-        for codec_name in config.compressors:
-            kind = _DEC_KIND_BY_CODEC[codec_name]
-            for (ds, fl), arr in arrays.items():
-                for eb in config.error_bounds:
-                    wl = decompression_workload(
-                        kind, arr.nbytes, eb,
-                        name=f"{codec_name}:dec:{ds}/{fl}@eb={eb:g}",
-                    )
-                    for sample in perf.sweep(wl, freqs):
-                        samples.append(
-                            {
-                                "cpu": sample.cpu,
-                                "compressor": codec_name,
-                                "dataset": ds,
-                                "field": fl,
-                                "error_bound": eb,
-                                "freq_ghz": sample.freq_ghz,
-                                "power_w": sample.power_w,
-                                "runtime_s": sample.runtime_s,
-                                "energy_j": sample.energy_j,
-                                "power_samples": sample.power_samples,
-                                "runtime_samples": sample.runtime_samples,
-                            }
+        def run_block(node=node):
+            perf = PerfStat(node, repeats=config.repeats)
+            freqs = _frequency_grid(node.cpu, config.frequency_stride)
+            records = []
+            for codec_name in config.compressors:
+                kind = _DEC_KIND_BY_CODEC[codec_name]
+                for (ds, fl), arr in arrays.items():
+                    for eb in config.error_bounds:
+                        wl = decompression_workload(
+                            kind, arr.nbytes, eb,
+                            name=f"{codec_name}:dec:{ds}/{fl}@eb={eb:g}",
                         )
+                        for sample in perf.sweep(wl, freqs):
+                            records.append(
+                                {
+                                    "cpu": sample.cpu,
+                                    "compressor": codec_name,
+                                    "dataset": ds,
+                                    "field": fl,
+                                    "error_bound": eb,
+                                    "freq_ghz": sample.freq_ghz,
+                                    "power_w": sample.power_w,
+                                    "runtime_s": sample.runtime_s,
+                                    "energy_j": sample.energy_j,
+                                    "power_samples": sample.power_samples,
+                                    "runtime_samples": sample.runtime_samples,
+                                }
+                            )
+            return records
+
+        samples.extend(
+            _cached_node_block(
+                "sweep.decompression", node, {"config": config}, run_block
+            )
+        )
     return samples
 
 
@@ -233,22 +325,33 @@ def read_sweep(
     nfs = nfs if nfs is not None else NfsTarget()
     samples = SampleSet()
     for node in nodes:
-        perf = PerfStat(node, repeats=config.repeats)
-        freqs = _frequency_grid(node.cpu, config.frequency_stride)
-        for size_gb in config.transit_sizes_gb:
-            wl = read_workload(int(size_gb * 1e9), nfs.effective_bandwidth_bps(),
-                               name=f"read@{size_gb:g}GB")
-            for sample in perf.sweep(wl, freqs):
-                samples.append(
-                    {
-                        "cpu": sample.cpu,
-                        "size_gb": size_gb,
-                        "freq_ghz": sample.freq_ghz,
-                        "power_w": sample.power_w,
-                        "runtime_s": sample.runtime_s,
-                        "energy_j": sample.energy_j,
-                        "power_samples": sample.power_samples,
-                        "runtime_samples": sample.runtime_samples,
-                    }
+        def run_block(node=node):
+            perf = PerfStat(node, repeats=config.repeats)
+            freqs = _frequency_grid(node.cpu, config.frequency_stride)
+            records = []
+            for size_gb in config.transit_sizes_gb:
+                wl = read_workload(
+                    int(size_gb * 1e9), nfs.effective_bandwidth_bps(),
+                    name=f"read@{size_gb:g}GB",
                 )
+                for sample in perf.sweep(wl, freqs):
+                    records.append(
+                        {
+                            "cpu": sample.cpu,
+                            "size_gb": size_gb,
+                            "freq_ghz": sample.freq_ghz,
+                            "power_w": sample.power_w,
+                            "runtime_s": sample.runtime_s,
+                            "energy_j": sample.energy_j,
+                            "power_samples": sample.power_samples,
+                            "runtime_samples": sample.runtime_samples,
+                        }
+                    )
+            return records
+
+        samples.extend(
+            _cached_node_block(
+                "sweep.read", node, {"config": config, "nfs": nfs}, run_block
+            )
+        )
     return samples

@@ -1,0 +1,245 @@
+"""Property tests for the cache storage tiers.
+
+The LRU tier must behave like a size-bounded dict with exact
+recency-eviction order; the disk tier must round-trip entries through
+real files and fail *loudly* — with :class:`CacheCorruptionError` or
+the shared schema ``ValueError`` — for every torn, truncated or
+bit-flipped file a crash can leave behind. Serving wrong bytes is the
+only unacceptable outcome.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import (
+    CacheCorruptionError,
+    DiskStore,
+    MemoryLRU,
+    ResultCache,
+    decode_value,
+    encode_value,
+    text_digest,
+)
+from repro.core.persistence import SCHEMA_VERSION
+
+#: What a reader may raise on a damaged entry; anything else is a bug.
+#: (CacheCorruptionError subclasses ValueError, matching the repo-wide
+#: corruption taxonomy in test_fuzz_corruption.py.)
+ALLOWED = (ValueError, EOFError, KeyError, IndexError, OverflowError)
+
+
+def entry(i):
+    text = encode_value({"i": i, "payload": "x" * (i % 7)})
+    return f"{i:064x}", text, text_digest(text)
+
+
+keys_st = st.lists(st.integers(0, 25), min_size=1, max_size=120)
+
+
+class TestMemoryLRUProperties:
+    @given(keys_st, st.integers(1, 12))
+    @settings(max_examples=120, deadline=None)
+    def test_round_trip_and_capacity(self, ops, max_entries):
+        lru = MemoryLRU(max_entries)
+        model = {}
+        for i in ops:
+            key, text, digest = entry(i)
+            lru.put(key, text, digest)
+            model[key] = (text, digest)
+        assert len(lru) <= max_entries
+        # Everything still resident reads back exactly what was put.
+        for key in lru.keys():
+            assert lru.get(key) == model[key]
+
+    @given(keys_st, st.integers(1, 12))
+    @settings(max_examples=120, deadline=None)
+    def test_eviction_is_exact_lru_order(self, ops, max_entries):
+        lru = MemoryLRU(max_entries)
+        recency = []  # oldest → newest among live keys
+        for i in ops:
+            key, text, digest = entry(i)
+            if key in recency:
+                recency.remove(key)
+            elif len(recency) == max_entries:
+                recency.pop(0)  # the oldest must be the one evicted
+            recency.append(key)
+            lru.put(key, text, digest)
+            assert list(lru.keys()) == recency
+        # A get refreshes recency exactly like a put.
+        if len(recency) >= 2:
+            oldest = recency[0]
+            assert lru.get(oldest) is not None
+            assert list(lru.keys()) == recency[1:] + [oldest]
+
+    @given(keys_st, st.integers(1, 12))
+    @settings(max_examples=80, deadline=None)
+    def test_eviction_callback_fires_once_per_overflow(self, ops, max_entries):
+        evicted = []
+        lru = MemoryLRU(max_entries, on_evict=evicted.append)
+        live, expected = [], []  # reference model: ordered dict + count
+        for i in ops:
+            key, text, digest = entry(i)
+            if key in live:
+                live.remove(key)
+            elif len(live) == max_entries:
+                expected.append(live.pop(0))
+            live.append(key)
+            lru.put(key, text, digest)
+        assert evicted == expected
+        assert list(lru.keys()) == live
+
+
+class TestDiskStoreRoundTrip:
+    @given(ids=st.lists(st.integers(0, 40), min_size=1, max_size=40,
+                        unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_many_entries(self, tmp_path_factory, ids):
+        store = DiskStore(tmp_path_factory.mktemp("disk"))
+        expected = {}
+        for i in ids:
+            key, text, digest = entry(i)
+            store.put(key, text, digest)
+            expected[key] = (text, digest)
+        assert set(store.keys()) == set(expected)
+        for key, pair in expected.items():
+            assert store.get(key) == pair
+
+    def test_values_decode_to_equal_objects(self, tmp_path):
+        store = DiskStore(tmp_path)
+        value = {"a": (1, 2.5), "b": np.arange(4.0)}
+        text = encode_value(value)
+        store.put("ab" * 32, text, text_digest(text))
+        read_text, _ = store.get("ab" * 32)
+        decoded = decode_value(read_text)
+        assert decoded["a"] == (1, 2.5)
+        np.testing.assert_array_equal(decoded["b"], value["b"])
+
+    def test_missing_key_is_none_not_error(self, tmp_path):
+        assert DiskStore(tmp_path).get("cd" * 32) is None
+
+    def test_put_is_atomic_no_tmp_left_behind(self, tmp_path):
+        store = DiskStore(tmp_path)
+        key, text, digest = entry(1)
+        for _ in range(3):
+            store.put(key, text, digest)
+        assert [p for p in os.listdir(tmp_path) if p.endswith(".tmp")] == []
+
+    def test_foreign_files_are_not_keys(self, tmp_path):
+        (tmp_path / "README.json").write_text("{}")
+        (tmp_path / "notes.txt").write_text("hi")
+        store = DiskStore(tmp_path)
+        key, text, digest = entry(2)
+        store.put(key, text, digest)
+        assert store.keys() == (key,)
+
+
+class TestDiskStoreCorruption:
+    """Byte-level damage, in the spirit of test_fuzz_corruption.py."""
+
+    def _stored(self, tmp_path):
+        store = DiskStore(tmp_path)
+        key, text, digest = entry(9)
+        store.put(key, text, digest)
+        return store, key, os.path.join(str(tmp_path), key + ".json")
+
+    def test_truncations_never_serve_bytes(self, tmp_path):
+        store, key, path = self._stored(tmp_path)
+        raw = open(path, "rb").read()
+        for cut in range(0, len(raw), max(1, len(raw) // 23)):
+            with open(path, "wb") as fh:
+                fh.write(raw[:cut])
+            with pytest.raises(ALLOWED):
+                store.get(key)
+        with open(path, "wb") as fh:
+            fh.write(raw)
+        assert store.get(key) is not None  # intact again ⇒ served again
+
+    def test_single_bit_flips_never_serve_altered_bytes(self, tmp_path):
+        store, key, path = self._stored(tmp_path)
+        raw = bytearray(open(path, "rb").read())
+        original = store.get(key)
+        rng = np.random.default_rng(0)
+        for _ in range(60):
+            corrupted = bytearray(raw)
+            pos = int(rng.integers(0, len(corrupted)))
+            corrupted[pos] ^= 1 << int(rng.integers(0, 8))
+            with open(path, "wb") as fh:
+                fh.write(bytes(corrupted))
+            try:
+                served = store.get(key)
+            except ALLOWED:
+                continue
+            # A flip that survived every check can only have landed in
+            # JSON whitespace/ordering: the served entry must be intact.
+            assert served == original
+
+    def test_digest_mismatch_names_staleness(self, tmp_path):
+        store, key, path = self._stored(tmp_path)
+        doc = json.load(open(path))
+        doc["value"] = doc["value"] + " "
+        json.dump(doc, open(path, "w"))
+        with pytest.raises(CacheCorruptionError, match="stale"):
+            store.get(key)
+
+    def test_swapped_entries_are_caught_by_key_check(self, tmp_path):
+        # A backup/restore that renames files must not relabel results.
+        store = DiskStore(tmp_path)
+        k1, t1, d1 = entry(1)
+        k2, t2, d2 = entry(2)
+        store.put(k1, t1, d1)
+        store.put(k2, t2, d2)
+        p1 = os.path.join(str(tmp_path), k1 + ".json")
+        p2 = os.path.join(str(tmp_path), k2 + ".json")
+        tmp = p1 + ".swap"
+        os.rename(p1, tmp)
+        os.rename(p2, p1)
+        os.rename(tmp, p2)
+        with pytest.raises(CacheCorruptionError, match="inconsistent"):
+            store.get(k1)
+
+    def test_older_and_newer_schema_raise_schema_error(self, tmp_path):
+        store, key, path = self._stored(tmp_path)
+        for version, hint in ((SCHEMA_VERSION + 1, "newer build"),
+                              (SCHEMA_VERSION - 1, "this build reads")):
+            doc = json.load(open(path))
+            doc["schema_version"] = version
+            json.dump(doc, open(path, "w"))
+            with pytest.raises(ValueError, match=hint):
+                store.get(key)
+
+
+class TestResultCacheOverCorruptDisk:
+    def test_lookup_propagates_corruption(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        key = "ef" * 32
+        cache.store(key, [1, 2, 3])
+        # Model a fresh process (cold memory tier) over a damaged file.
+        path = os.path.join(str(tmp_path), key + ".json")
+        with open(path, "r+") as fh:
+            body = fh.read()
+            fh.seek(0)
+            fh.write(body[: len(body) // 2])
+            fh.truncate()
+        fresh = ResultCache(disk_dir=tmp_path)
+        with pytest.raises(CacheCorruptionError):
+            fresh.lookup(key)
+
+    def test_invalidate_then_recompute(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        key = "aa" * 32
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"n": len(calls)}
+
+        assert cache.get_or_compute(key, compute) == {"n": 1}
+        assert cache.get_or_compute(key, compute) == {"n": 1}
+        assert cache.invalidate(key)
+        assert cache.get_or_compute(key, compute) == {"n": 2}
+        assert len(calls) == 2

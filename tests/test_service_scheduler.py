@@ -1,5 +1,6 @@
 """Unit tests for the batching request scheduler."""
 
+import json
 import threading
 import time
 
@@ -249,3 +250,130 @@ class TestObservability:
                 sched.perform("tune", {"a": 1}, timeout=5.0)
             names = [s.name for s in tracer.spans]
         assert "service.tune" in names
+
+
+class TestCacheIntegration:
+    """Result-cache consultation: exact hit/miss accounting, no recompute."""
+
+    @staticmethod
+    def make_cached(handler, **kwargs):
+        from repro.cache import ResultCache, fingerprint
+
+        cache = ResultCache()
+        return cache, Scheduler(
+            handler, cache=cache,
+            cache_key_fn=lambda kind, payload: fingerprint(
+                kind=f"service.{kind}", payload=payload
+            ),
+            **kwargs,
+        )
+
+    def test_cache_without_key_fn_rejected(self):
+        from repro.cache import ResultCache
+
+        with pytest.raises(ValueError, match="cache_key_fn"):
+            Scheduler(echo_handler, cache=ResultCache())
+
+    def test_repeated_identical_queries_compute_once(self):
+        calls = []
+
+        def counting(kind, payload):
+            calls.append(payload)
+            return {"n": len(calls)}
+
+        cache, sched = self.make_cached(counting)
+        with sched:
+            results = [sched.perform("tune", {"q": 7}, timeout=5.0)
+                       for _ in range(5)]
+        assert calls == [{"q": 7}]
+        assert all(r == {"n": 1} for r in results)
+        # Exact accounting: one miss (the computation), four submit-time
+        # hits — the advisory probe never inflates the miss counter.
+        metrics = get_metrics_registry()
+        ctx = {"context": "service.tune"}
+        assert metrics.counter("repro_cache_misses_total", labels=ctx).value == 1
+        assert metrics.counter("repro_cache_hits_total", labels=ctx).value == 4
+        # Every ticket still went through the request counter.
+        ok = metrics.counter("repro_service_requests_total",
+                             labels={"endpoint": "tune", "status": "ok"})
+        assert ok.value == 5
+
+    def test_identical_in_flight_queries_single_flight(self):
+        # batch_max=1 defeats in-batch coalescing, so each duplicate
+        # lands in its own dispatch group: only the cache's
+        # get_or_compute can dedupe them — and must.
+        calls = []
+        gate = threading.Event()
+
+        def stalling(kind, payload):
+            if payload.get("stall"):
+                gate.wait(10.0)
+                return "stalled"
+            calls.append(payload)
+            return {"n": len(calls)}
+
+        cache, sched = self.make_cached(
+            stalling, workers=1, batch_max=1, queue_size=64
+        )
+        with sched:
+            # Distinct kind: the stall's own miss lands in another
+            # metric context, keeping the tune accounting exact.
+            stall_ticket = sched.submit("stall", {"stall": True})
+            time.sleep(0.15)  # dispatcher is now stuck in the stall
+            dupes = [sched.submit("tune", {"q": "same"}) for _ in range(6)]
+            gate.set()
+            results = {json.dumps(d.result(10.0)) for d in dupes}
+            assert stall_ticket.result(10.0) == "stalled"
+        assert len(calls) == 1
+        assert results == {'{"n": 1}'}
+        metrics = get_metrics_registry()
+        ctx = {"context": "service.tune"}
+        assert metrics.counter("repro_cache_misses_total", labels=ctx).value == 1
+        assert metrics.counter("repro_cache_hits_total", labels=ctx).value == 5
+        # Separate batches: classic coalescing saw none of this.
+        assert metrics.counter("repro_service_coalesced_total").value == 0
+
+    def test_submit_time_hit_bypasses_a_jammed_queue(self):
+        gate = threading.Event()
+
+        def stalling(kind, payload):
+            if payload.get("stall"):
+                gate.wait(10.0)
+                return "stalled"
+            return {"q": payload["q"]}
+
+        cache, sched = self.make_cached(
+            stalling, workers=1, batch_max=1, queue_size=2
+        )
+        try:
+            warm = sched.perform("tune", {"q": 1}, timeout=5.0)
+            stall_ticket = sched.submit("tune", {"stall": True})
+            time.sleep(0.15)
+            for i in range(2):
+                sched.submit("tune", {"stall": True, "i": i})
+            with pytest.raises(QueueFullError):
+                sched.submit("tune", {"q": "novel"})
+            # The cached query needs no queue slot at all.
+            t0 = time.monotonic()
+            hit = sched.perform("tune", {"q": 1}, timeout=1.0)
+            assert time.monotonic() - t0 < 0.5
+            assert hit == warm
+        finally:
+            gate.set()
+            sched.close()
+
+    def test_errors_are_never_cached(self):
+        attempts = []
+
+        def flaky(kind, payload):
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise BadRequestError("transient nonsense")
+            return "recovered"
+
+        cache, sched = self.make_cached(flaky)
+        with sched:
+            with pytest.raises(BadRequestError):
+                sched.perform("tune", {"q": 1}, timeout=5.0)
+            assert sched.perform("tune", {"q": 1}, timeout=5.0) == "recovered"
+        assert len(attempts) == 2
