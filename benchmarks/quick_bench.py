@@ -32,7 +32,7 @@ import time
 import numpy as np
 
 from repro.cache import ResultCache, set_cache
-from repro.compressors import SZCompressor, ZFPCompressor
+from repro.compressors import SZCompressor, ZFPCompressor, kernels
 from repro.data import load_field
 from repro.hardware.cpu import SKYLAKE_4114
 from repro.observability import Tracer, use_tracer, write_spans_jsonl
@@ -97,6 +97,52 @@ def bench_codec(name, data, error_bound=1e-3, repeats=3):
         "decompress_s": decompress_s,
         "ratio": data.nbytes / blob.nbytes,
     }
+
+
+def bench_kernel_speedup(data, error_bound=1e-3, repeats=3):
+    """Vectorized-vs-scalar codec throughput on the same inputs.
+
+    Runs each codec end to end under both kernel backends
+    (``repro.compressors.kernels``), asserts the payloads are
+    byte-identical — the backends' core contract — and reports the
+    compress/decompress speedup of the vector backend. The scalar
+    reference runs once (it is the slow side by construction); the
+    vector side keeps best-of-N.
+    """
+    out = {}
+    for name, cls in CODECS.items():
+        codec = cls()
+        times = {}
+        payloads = {}
+        for backend in ("vector", "scalar"):
+            reps = repeats if backend == "vector" else 1
+            with kernels.use_backend(backend):
+                compress_s = float("inf")
+                for _ in range(reps):
+                    t0 = time.perf_counter()
+                    blob = codec.compress(data, error_bound)
+                    compress_s = min(compress_s, time.perf_counter() - t0)
+                decompress_s = float("inf")
+                for _ in range(reps):
+                    t0 = time.perf_counter()
+                    codec.decompress(blob)
+                    decompress_s = min(decompress_s, time.perf_counter() - t0)
+            times[backend] = (compress_s, decompress_s)
+            payloads[backend] = blob.payload
+        assert payloads["vector"] == payloads["scalar"], (
+            f"{name}: kernel backends produced different bytes"
+        )
+        out[name] = {
+            "scalar_compress_s": times["scalar"][0],
+            "scalar_decompress_s": times["scalar"][1],
+            "vector_compress_s": times["vector"][0],
+            "vector_decompress_s": times["vector"][1],
+            "compress_speedup": times["scalar"][0] / times["vector"][0],
+            "decompress_speedup": times["scalar"][1] / times["vector"][1],
+            "speedup": (times["scalar"][0] + times["scalar"][1])
+            / (times["vector"][0] + times["vector"][1]),
+        }
+    return out
 
 
 def bench_cache():
@@ -184,6 +230,10 @@ def main(argv=None) -> int:
                     help="allowed fractional wall-time regression")
     ap.add_argument("--trace-out", default=None,
                     help="write a span-tree JSONL of the benchmark run")
+    ap.add_argument("--min-kernel-speedup", type=float, default=3.0,
+                    help="fail unless the vector kernel backend beats the "
+                         "scalar reference by this factor per codec "
+                         "(0 disables the gate)")
     args = ap.parse_args(argv)
 
     data = build_field(args.edge)
@@ -216,6 +266,14 @@ def main(argv=None) -> int:
               f"({res['decompress_norm']:6.1f}x calib), "
               f"ratio {res['ratio']:.2f}x")
 
+    kernel_res = bench_kernel_speedup(data, args.error_bound, args.repeats)
+    report["kernel_speedup"] = kernel_res
+    for name, res in kernel_res.items():
+        print(f"{name} kernels: vector vs scalar "
+              f"compress {res['compress_speedup']:6.1f}x, "
+              f"decompress {res['decompress_speedup']:6.1f}x, "
+              f"overall {res['speedup']:6.1f}x")
+
     cache_res = bench_cache()
     report["cache"] = cache_res
     print(f"cache: hit ratio {cache_res['hit_ratio']:.2f} "
@@ -231,6 +289,21 @@ def main(argv=None) -> int:
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"report written to {args.output}")
+
+    if args.min_kernel_speedup > 0:
+        # In-run floor, not a baseline comparison: both sides are
+        # measured in the same process on the same inputs, so the ratio
+        # is machine-independent enough for a hard gate.
+        too_slow = [
+            f"{name} vector backend only {res['speedup']:.2f}x over scalar "
+            f"(< {args.min_kernel_speedup:g}x floor)"
+            for name, res in kernel_res.items()
+            if res["speedup"] < args.min_kernel_speedup
+        ]
+        if too_slow:
+            for msg in too_slow:
+                print(f"FAIL: {msg}", file=sys.stderr)
+            return 1
 
     if args.baseline:
         with open(args.baseline) as fh:

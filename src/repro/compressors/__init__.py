@@ -21,6 +21,7 @@ from repro.compressors.metrics import (
     evaluate,
     verify_error_bound,
 )
+from repro.compressors import kernels
 from repro.compressors.sz import SZCompressor
 from repro.compressors.zfp import ZFPCompressor
 from repro.compressors.lossless import LosslessCompressor
@@ -49,4 +50,5 @@ __all__ = [
     "ChunkedBuffer",
     "ChunkedCompressor",
     "CorruptChunkError",
+    "kernels",
 ]

@@ -33,6 +33,7 @@ from repro.compressors.base import (
     CorruptStreamError,
     get_compressor,
 )
+from repro.compressors import kernels
 from repro.observability import get_registry, get_tracer
 from repro.parallel import (
     CODEC_COST,
@@ -244,6 +245,7 @@ class ChunkedCompressor:
             codec=self.codec.name,
             slabs=len(items),
             bytes_in=sum(bytes_in),
+            kernels=kernels.active_backend(),
         ) as sp:
             t0 = time.perf_counter()
             try:

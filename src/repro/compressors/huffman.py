@@ -1,11 +1,14 @@
-"""Canonical Huffman coding with vectorized encode *and* decode.
+"""Canonical Huffman coding over the pluggable codec kernel layer.
 
 SZ's entropy stage Huffman-codes quantization codes for arrays with
 millions of elements, so a per-symbol Python loop is not an option
-(guides: no per-element Python loops on hot paths). Encoding flattens a
-masked bit matrix; decoding precomputes the code length at every bit
-position through a 2^L lookup table and extracts the symbol chain with
-:func:`repro.utils.chains.follow_chain` pointer doubling.
+(guides: no per-element Python loops on hot paths). The bit-level inner
+loops — canonical code assignment, table-driven bit emission, and
+prefix-table chain decoding — live in
+:mod:`repro.compressors.kernels`, where the default ``vector`` backend
+flattens a masked bit matrix on encode and pointer-doubles a 2^L
+lookup-table jump chain on decode; ``REPRO_KERNELS=scalar`` swaps in
+the byte-identical pure-Python reference loops.
 
 Codes are canonical (assigned in (length, symbol) order), so only the
 symbol table and code lengths need to be serialized.
@@ -13,13 +16,12 @@ symbol table and code lengths need to be serialized.
 
 from __future__ import annotations
 
-import heapq
 from typing import Dict, Sequence
 
 import numpy as np
 
+from repro.compressors import kernels
 from repro.utils.bitio import BitReader, BitWriter
-from repro.utils.chains import follow_chain
 
 __all__ = ["HuffmanCodec", "build_code_lengths"]
 
@@ -31,10 +33,17 @@ def build_code_lengths(
 ) -> Dict[int, int]:
     """Huffman code lengths for a frequency table, limited to *max_code_length*.
 
-    Uses the classic heap construction; if the resulting tree is deeper
-    than the limit, frequencies are repeatedly halved (floored at 1) and
-    the tree rebuilt — a standard practical length-limiting scheme that
-    converges to near-uniform lengths.
+    Two-queue merge over frequency-sorted leaves: merged nodes are born
+    in non-decreasing frequency order, so the two cheapest nodes are
+    always at the head of one of two FIFOs and the whole tree builds in
+    O(n) after the sort — no heap, no per-merge subtree rebuilding. The
+    merge order (ties prefer leaves, then older merges) reproduces the
+    classic ``(freq, insertion counter)`` heap construction exactly, so
+    lengths — and therefore canonical codes and stream bytes — are
+    unchanged. If the tree comes out deeper than the limit, frequencies
+    are repeatedly halved (floored at 1) and the tree rebuilt — a
+    standard practical length-limiting scheme that converges to
+    near-uniform lengths.
     """
     if not frequencies:
         raise ValueError("frequency table must be non-empty")
@@ -48,23 +57,48 @@ def build_code_lengths(
     if nsym == 1:
         return {next(iter(frequencies)): 1}
 
-    freqs = dict(frequencies)
+    symbols = sorted(frequencies)
+    freqs = [frequencies[s] for s in symbols]
     while True:
-        # Heap items: (freq, tiebreak, {symbol: depth}).
-        heap = [(f, i, {s: 0}) for i, (s, f) in enumerate(sorted(freqs.items()))]
-        heapq.heapify(heap)
-        counter = len(heap)
-        while len(heap) > 1:
-            f1, _, d1 = heapq.heappop(heap)
-            f2, _, d2 = heapq.heappop(heap)
-            merged = {s: d + 1 for s, d in d1.items()}
-            merged.update({s: d + 1 for s, d in d2.items()})
-            heapq.heappush(heap, (f1 + f2, counter, merged))
-            counter += 1
-        lengths = heap[0][2]
+        # Leaves in (freq, symbol) order — the heap's pop order for
+        # leaves, since its tiebreak counter was the symbol rank.
+        order = np.argsort(np.asarray(freqs, dtype=np.int64), kind="stable")
+        leaf_freqs = [freqs[i] for i in order.tolist()]
+        # Nodes: 0..nsym-1 = leaves (in pop order), nsym.. = merges.
+        parent = [0] * (2 * nsym - 1)
+        merged_freqs: list[int] = []
+        ai = 0  # leaf queue head
+        bi = 0  # merged queue head
+        for node in range(nsym, 2 * nsym - 1):
+            pair = []
+            for _ in range(2):
+                # Tie prefers the leaf: its heap counter (symbol rank)
+                # is always below any merged node's insertion counter.
+                if ai < nsym and (
+                    bi >= len(merged_freqs) or leaf_freqs[ai] <= merged_freqs[bi]
+                ):
+                    pair.append(ai)
+                    ai += 1
+                else:
+                    pair.append(nsym + bi)
+                    bi += 1
+            parent[pair[0]] = node
+            parent[pair[1]] = node
+            f0 = leaf_freqs[pair[0]] if pair[0] < nsym else merged_freqs[pair[0] - nsym]
+            f1 = leaf_freqs[pair[1]] if pair[1] < nsym else merged_freqs[pair[1] - nsym]
+            merged_freqs.append(f0 + f1)
+        # Parents are created after their children, so a single
+        # descending sweep resolves every depth.
+        depth = [0] * (2 * nsym - 1)
+        for node in range(2 * nsym - 3, -1, -1):
+            depth[node] = depth[parent[node]] + 1
+        lengths = {
+            symbols[sym_idx]: depth[leaf_pos]
+            for leaf_pos, sym_idx in enumerate(order.tolist())
+        }
         if max(lengths.values()) <= max_code_length:
             return lengths
-        freqs = {s: max(1, f // 2) for s, f in freqs.items()}
+        freqs = [max(1, f // 2) for f in freqs]
 
 
 class HuffmanCodec:
@@ -97,14 +131,7 @@ class HuffmanCodec:
         order = np.lexsort((syms, lens))
         syms, lens = syms[order], lens[order]
         max_len = int(lens.max())
-        codes = np.zeros(syms.size, dtype=np.int64)
-        code = 0
-        prev_len = int(lens[0])
-        for i in range(syms.size):
-            code <<= int(lens[i]) - prev_len
-            codes[i] = code
-            prev_len = int(lens[i])
-            code += 1
+        codes = kernels.canonical_codes(lens)
 
         self._max_len = max_len
         # Encoder view: sorted by symbol for searchsorted mapping.
@@ -148,7 +175,7 @@ class HuffmanCodec:
         arr = np.asarray(data, dtype=np.int64).ravel()
         if arr.size == 0:
             raise ValueError("data must be non-empty")
-        values, counts = np.unique(arr, return_counts=True)
+        values, counts = kernels.huffman_histogram(arr)
         return cls.from_frequencies(
             dict(zip(values.tolist(), counts.tolist())), max_code_length
         )
@@ -184,14 +211,7 @@ class HuffmanCodec:
         return total
 
     def _lookup(self, arr: np.ndarray) -> np.ndarray:
-        idx = np.searchsorted(self._symbols_sorted, arr)
-        bad = (idx >= self._symbols_sorted.size) | (
-            self._symbols_sorted[np.minimum(idx, self._symbols_sorted.size - 1)] != arr
-        )
-        if np.any(bad):
-            missing = arr[bad][0]
-            raise KeyError(f"symbol {int(missing)} is not in the codec alphabet")
-        return idx
+        return kernels.huffman_lookup_indices(arr, self._symbols_sorted)
 
     # ------------------------------------------------------------------
     # Encode / decode
@@ -200,27 +220,22 @@ class HuffmanCodec:
     def encode_to(self, writer: BitWriter, data) -> int:
         """Append the code bits of *data* to *writer*; returns bit count.
 
-        Vectorized: per chunk, codes are left-aligned into a
-        ``(n, max_len)`` bit matrix and flattened through a length mask,
-        which preserves symbol order row by row.
+        Per chunk, symbols are mapped to (code, length) pairs and handed
+        to the ``huffman_encode_bits`` kernel, which preserves symbol
+        order bit for bit under either backend.
         """
         arr = np.asarray(data, dtype=np.int64).ravel()
         if arr.size == 0:
             return 0
         total_bits = 0
-        max_len = self._max_len
-        col = np.arange(max_len, dtype=np.int64)
         for lo in range(0, arr.size, _ENCODE_CHUNK):
             chunk = arr[lo : lo + _ENCODE_CHUNK]
             idx = self._lookup(chunk)
             lens = self._enc_lengths[idx]
             codes = self._enc_codes[idx]
-            aligned = codes << (max_len - lens)
-            bits = ((aligned[:, None] >> (max_len - 1 - col)[None, :]) & 1).astype(
-                np.uint8
+            writer.write_bits_array(
+                kernels.huffman_encode_bits(codes, lens, self._max_len)
             )
-            mask = col[None, :] < lens[:, None]
-            writer.write_bits_array(bits[mask])
             total_bits += int(lens.sum())
         return total_bits
 
@@ -234,19 +249,11 @@ class HuffmanCodec:
         if count == 0:
             return np.empty(0, dtype=np.int64)
         bits = np.asarray(bits, dtype=np.uint8).ravel()
-        nbits = bits.size
-        if nbits == 0:
+        if bits.size == 0:
             raise ValueError("empty bit stream but count > 0")
-        max_len = self._max_len
-        padded = np.concatenate([bits, np.zeros(max_len, dtype=np.uint8)])
-        # w[i] = integer value of the max_len-bit window starting at i.
-        w = np.zeros(nbits, dtype=np.int64)
-        for j in range(max_len):
-            w |= padded[j : j + nbits].astype(np.int64) << (max_len - 1 - j)
-        lengths_at = self._dec_length[w]
-        jumps = np.arange(nbits, dtype=np.int64) + lengths_at
-        chain = follow_chain(jumps, 0, count)
-        return self._dec_symbol[w[chain]]
+        return kernels.huffman_decode_symbols(
+            bits, self._dec_symbol, self._dec_length, count, self._max_len
+        )
 
     def decode_from(self, reader: BitReader, nbits: int, count: int) -> np.ndarray:
         """Consume *nbits* bits from *reader* and decode *count* symbols."""

@@ -1,0 +1,182 @@
+"""Vectorized codec kernels (the default backend).
+
+Every function here is the NumPy counterpart of a loop in
+:mod:`repro.compressors.kernels.scalar` and must emit **identical
+bytes**; the differential suite and the CI ``kernel-equivalence``
+matrix enforce that. No O(n) Python loop is allowed on any path in
+this module — loops below are O(max_code_length) ≤ 32 rounds or
+O(distinct plane counts), never per element.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.chains import follow_chain
+
+name = "vector"
+
+
+# ----------------------------------------------------------------------
+# Huffman
+# ----------------------------------------------------------------------
+
+
+def canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Canonical code values for non-decreasing code lengths.
+
+    RFC 1951 construction, vectorized over symbols: the first code of
+    each length is ``(first_code[l-1] + count[l-1]) << 1`` (an
+    O(max_len) scan), and within a length codes are the first code plus
+    the symbol's rank.
+    """
+    lens = np.asarray(lengths, dtype=np.int64)
+    if lens.size == 0:
+        return np.empty(0, dtype=np.int64)
+    max_len = int(lens[-1])
+    counts = np.bincount(lens, minlength=max_len + 1).astype(np.int64)
+    first = np.zeros(max_len + 1, dtype=np.int64)
+    for ln in range(1, max_len + 1):
+        first[ln] = (first[ln - 1] + counts[ln - 1]) << 1
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    rank = np.arange(lens.size, dtype=np.int64) - starts[lens]
+    return first[lens] + rank
+
+
+def huffman_histogram(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Sorted distinct symbols and their counts in one ``np.unique``."""
+    return np.unique(values, return_counts=True)
+
+
+def huffman_lookup_indices(
+    values: np.ndarray, symbols_sorted: np.ndarray
+) -> np.ndarray:
+    """Binary-search every symbol against the sorted alphabet at once."""
+    idx = np.searchsorted(symbols_sorted, values)
+    bad = (idx >= symbols_sorted.size) | (
+        symbols_sorted[np.minimum(idx, symbols_sorted.size - 1)] != values
+    )
+    if np.any(bad):
+        missing = values[bad][0]
+        raise KeyError(f"symbol {int(missing)} is not in the codec alphabet")
+    return idx
+
+
+def huffman_encode_bits(
+    codes: np.ndarray, lengths: np.ndarray, max_len: int
+) -> np.ndarray:
+    """Left-align codes into an ``(n, max_len)`` bit matrix, flatten
+    through the per-symbol length mask (row order preserves symbol
+    order)."""
+    if codes.size == 0:
+        return np.empty(0, dtype=np.uint8)
+    col = np.arange(max_len, dtype=np.int64)
+    aligned = codes << (max_len - lengths)
+    bits = ((aligned[:, None] >> (max_len - 1 - col)[None, :]) & 1).astype(np.uint8)
+    mask = col[None, :] < lengths[:, None]
+    return bits[mask]
+
+
+def huffman_decode_symbols(
+    bits: np.ndarray,
+    dec_symbol: np.ndarray,
+    dec_length: np.ndarray,
+    count: int,
+    max_len: int,
+) -> np.ndarray:
+    """Prefix-table decode via pointer doubling.
+
+    ``w[i]`` is the integer value of the ``max_len``-bit window starting
+    at bit *i*; the code chain ``i -> i + dec_length[w[i]]`` is walked
+    with O(log n) bulk gathers.
+    """
+    nbits = bits.size
+    padded = np.concatenate([bits, np.zeros(max_len, dtype=np.uint8)])
+    w = np.zeros(nbits, dtype=np.int64)
+    for j in range(max_len):
+        w |= padded[j : j + nbits].astype(np.int64) << (max_len - 1 - j)
+    lengths_at = dec_length[w]
+    jumps = np.arange(nbits, dtype=np.int64) + lengths_at
+    chain = follow_chain(jumps, 0, count)
+    return dec_symbol[w[chain]]
+
+
+# ----------------------------------------------------------------------
+# Bit packing (BitWriter/BitReader byte boundary)
+# ----------------------------------------------------------------------
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a 0/1 array into bytes, MSB-first, zero-padded at the tail."""
+    return np.packbits(bits)
+
+
+def unpack_bits(data: np.ndarray) -> np.ndarray:
+    """Unpack bytes into a 0/1 array, MSB-first."""
+    return np.unpackbits(data)
+
+
+# ----------------------------------------------------------------------
+# ZFP negabinary + bit planes
+# ----------------------------------------------------------------------
+
+_NB_MASK = np.uint64(0xAAAAAAAAAAAAAAAA)
+
+
+def negabinary_encode(values: np.ndarray) -> np.ndarray:
+    v = values.astype(np.uint64)
+    return (v + _NB_MASK) ^ _NB_MASK
+
+
+def negabinary_decode(values: np.ndarray) -> np.ndarray:
+    return ((values ^ _NB_MASK) - _NB_MASK).astype(np.int64)
+
+
+def zfp_encode_plane_group(rows: np.ndarray, planes: np.ndarray) -> np.ndarray:
+    """Emit flag/payload chunks for a kept-plane group in one masked
+    flatten over the ``(g, kv, 1 + block_size)`` chunk tensor."""
+    shifts = planes.astype(np.uint64)[None, :, None]
+    bits = ((rows[:, None, :] >> shifts) & np.uint64(1)).astype(np.uint8)
+    flags = bits.any(axis=2).astype(np.uint8)  # (g, kv)
+    chunks = np.concatenate([flags[:, :, None], bits], axis=2)
+    mask = np.ones_like(chunks, dtype=bool)
+    mask[:, :, 1:] = flags[:, :, None].astype(bool)
+    return chunks[mask]
+
+
+def zfp_decode_plane_group(
+    bits: np.ndarray, nchunks: int, block_size: int
+) -> Tuple[np.ndarray, int]:
+    """Walk the chunk chain (1 or ``1 + block_size`` bits each) with
+    pointer doubling, then gather every flagged payload in one shot."""
+    nbits = bits.size
+    jumps = np.arange(nbits, dtype=np.int64) + 1 + bits.astype(np.int64) * block_size
+    chain = follow_chain(jumps, 0, nchunks)
+    flags = bits[chain].astype(bool)
+    consumed = int(chain[-1]) + 1 + (block_size if flags[-1] else 0)
+    if consumed != nbits:
+        raise ValueError(
+            f"plane group length mismatch: consumed {consumed} of {nbits} bits"
+        )
+    plane_vals = np.zeros((nchunks, block_size), dtype=np.uint64)
+    flagged = np.flatnonzero(flags)
+    if flagged.size:
+        offsets = chain[flagged][:, None] + 1 + np.arange(block_size)[None, :]
+        plane_vals[flagged] = bits[offsets].astype(np.uint64)
+    return plane_vals, consumed
+
+
+# ----------------------------------------------------------------------
+# SZ grid quantizer
+# ----------------------------------------------------------------------
+
+
+def sz_quantize(data: np.ndarray, origin: float, bin_width: float) -> np.ndarray:
+    scaled = (data - origin) / bin_width
+    return np.rint(scaled).astype(np.int64)
+
+
+def sz_reconstruct(indices: np.ndarray, origin: float, bin_width: float) -> np.ndarray:
+    return origin + indices.astype(np.float64) * bin_width

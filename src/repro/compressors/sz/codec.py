@@ -28,6 +28,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.compressors import kernels
 from repro.compressors.base import Compressor, CorruptStreamError, register_compressor
 from repro.compressors.huffman import HuffmanCodec
 from repro.observability import get_tracer
@@ -116,7 +117,7 @@ class SZCompressor(Compressor):
 
     def _encode_int_stream_inner(self, writer: BitWriter, values: np.ndarray) -> None:
         values = np.asarray(values, dtype=np.int64).ravel()
-        distinct, counts = np.unique(values, return_counts=True)
+        distinct, counts = kernels.huffman_histogram(values)
         if distinct.size > self.max_alphabet - 1:
             keep = np.argsort(counts)[::-1][: self.max_alphabet - 1]
             literal_set = np.sort(distinct[keep])

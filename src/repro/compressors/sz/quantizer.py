@@ -6,6 +6,11 @@ In SZ, each point's prediction residual is quantized with bin width
 computation, reconstruction, and the feasibility analysis that decides
 when the grid would be numerically unsafe and the codec must fall back
 to its lossless channel.
+
+The per-value index/reconstruction arithmetic runs through the
+``sz_quantize``/``sz_reconstruct`` kernels of
+:mod:`repro.compressors.kernels`, whose scalar and vector backends are
+bit-identical (same subtract/divide/round-half-even sequence).
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.compressors import kernels
 from repro.utils.validation import check_positive
 
 __all__ = ["QuantizationPlan", "GridQuantizer"]
@@ -96,9 +102,8 @@ class GridQuantizer:
 
     def quantize(self, data: np.ndarray, origin: float) -> np.ndarray:
         """Grid indices ``round((x - origin) / (2*eb))`` as int64."""
-        scaled = (np.asarray(data, dtype=np.float64) - origin) / self.bin_width
-        return np.rint(scaled).astype(np.int64)
+        return kernels.sz_quantize(data, origin, self.bin_width)
 
     def reconstruct(self, indices: np.ndarray, origin: float) -> np.ndarray:
         """Grid values ``origin + 2*eb*k`` (float64)."""
-        return origin + np.asarray(indices, dtype=np.float64) * self.bin_width
+        return kernels.sz_reconstruct(indices, origin, self.bin_width)

@@ -1,4 +1,4 @@
-"""Negabinary mapping and vectorized bit-plane coding.
+"""Negabinary mapping and bit-plane coding over the kernel layer.
 
 ZFP encodes transform coefficients in negabinary (base −2), whose
 sign-free representation makes truncating low bit planes a clean
@@ -8,20 +8,20 @@ magnitude cut: zeroing planes below *p* perturbs the value by less than
 The plane coder serializes, for every block, its kept planes from most
 to least significant. Each plane is one chunk: a 1-bit "non-zero" flag,
 followed by the plane's ``block_size`` raw bits only when the flag is
-set — ZFP's group-testing idea reduced to plane granularity, which is
-what lets both directions vectorize (encode through a masked bit-matrix
-flatten, decode through a :func:`~repro.utils.chains.follow_chain`
-jump chain, since a chunk is 1 or ``1 + block_size`` bits).
+set — ZFP's group-testing idea reduced to plane granularity. The
+per-bit inner loops live in :mod:`repro.compressors.kernels`: the
+default ``vector`` backend encodes through a masked bit-matrix flatten
+and decodes through a :func:`~repro.utils.chains.follow_chain` jump
+chain (a chunk is 1 or ``1 + block_size`` bits), while
+``REPRO_KERNELS=scalar`` swaps in the byte-identical reference loops.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
-
 import numpy as np
 
+from repro.compressors import kernels
 from repro.utils.bitio import BitReader, BitWriter
-from repro.utils.chains import follow_chain
 
 __all__ = [
     "int_to_negabinary",
@@ -30,28 +30,15 @@ __all__ = [
     "decode_planes",
 ]
 
-_NB_MASK = np.uint64(0xAAAAAAAAAAAAAAAA)
-
 
 def int_to_negabinary(values: np.ndarray) -> np.ndarray:
     """Map signed int64 to negabinary uint64 (zfp's ``int2uint``)."""
-    v = np.asarray(values, dtype=np.int64).astype(np.uint64)
-    return (v + _NB_MASK) ^ _NB_MASK
+    return kernels.negabinary_encode(np.asarray(values, dtype=np.int64))
 
 
 def negabinary_to_int(values: np.ndarray) -> np.ndarray:
     """Invert :func:`int_to_negabinary` (zfp's ``uint2int``)."""
-    v = np.asarray(values, dtype=np.uint64)
-    return ((v ^ _NB_MASK) - _NB_MASK).astype(np.int64)
-
-
-def _plane_bits(nb: np.ndarray, planes: np.ndarray) -> np.ndarray:
-    """Bit tensor (nblocks, nplanes, block_size) for the given plane indices.
-
-    ``planes`` lists plane indices from most significant downward.
-    """
-    shifts = planes.astype(np.uint64)[None, :, None]
-    return ((nb[:, None, :] >> shifts) & np.uint64(1)).astype(np.uint8)
+    return kernels.negabinary_decode(np.asarray(values, dtype=np.uint64))
 
 
 def encode_planes(
@@ -89,7 +76,6 @@ def encode_planes(
         raise ValueError("kept_planes must have one entry per block")
     if np.any(k < 0) or np.any(k > top_plane + 1):
         raise ValueError(f"kept_planes must lie in [0, {top_plane + 1}]")
-    block_size = nb.shape[1]
 
     for kv in np.unique(k):
         kv = int(kv)
@@ -97,12 +83,7 @@ def encode_planes(
             continue
         rows = nb[k == kv]
         planes = np.arange(top_plane, top_plane - kv, -1, dtype=np.int64)
-        bits = _plane_bits(rows, planes)  # (g, kv, block_size)
-        flags = bits.any(axis=2).astype(np.uint8)  # (g, kv)
-        chunks = np.concatenate([flags[:, :, None], bits], axis=2)
-        mask = np.ones_like(chunks, dtype=bool)
-        mask[:, :, 1:] = flags[:, :, None].astype(bool)
-        group_bits = chunks[mask]
+        group_bits = kernels.zfp_encode_plane_group(rows, planes)
         writer.write_uint(group_bits.size, 64)
         writer.write_bits_array(group_bits)
 
@@ -134,24 +115,7 @@ def decode_planes(
         if nchunks:
             if nbits == 0:
                 raise ValueError("empty plane group with pending chunks")
-            jumps = (
-                np.arange(nbits, dtype=np.int64)
-                + 1
-                + bits.astype(np.int64) * block_size
-            )
-            chain = follow_chain(jumps, 0, nchunks)
-            flags = bits[chain].astype(bool)
-            consumed = int(chain[-1]) + 1 + (block_size if flags[-1] else 0)
-            if consumed != nbits:
-                raise ValueError(
-                    f"plane group length mismatch: consumed {consumed} of {nbits} bits"
-                )
-            # Gather plane payloads for flagged chunks.
-            plane_vals = np.zeros((nchunks, block_size), dtype=np.uint64)
-            flagged = np.flatnonzero(flags)
-            if flagged.size:
-                offsets = chain[flagged][:, None] + 1 + np.arange(block_size)[None, :]
-                plane_vals[flagged] = bits[offsets].astype(np.uint64)
+            plane_vals, _ = kernels.zfp_decode_plane_group(bits, nchunks, block_size)
             planes = np.arange(top_plane, top_plane - kv, -1, dtype=np.int64)
             shifts = planes.astype(np.uint64)  # (kv,)
             vals = plane_vals.reshape(sel.size, kv, block_size)

@@ -1,10 +1,12 @@
-"""Bit-level I/O on top of NumPy bit packing.
+"""Bit-level I/O on top of the pluggable bit-packing kernels.
 
 The Huffman coder and the ZFP bit-plane coder both need a bit stream.
-``BitWriter`` accumulates bits in Python-int chunks and packs them with
-``np.packbits`` on flush; ``BitReader`` unpacks once and serves slices,
-which keeps the per-bit Python overhead low (guides: vectorize, avoid
-per-element Python loops where the layout allows it).
+``BitWriter`` accumulates bits in per-call chunks and packs them through
+the ``pack_bits`` kernel on flush; ``BitReader`` unpacks once via
+``unpack_bits`` and serves slices, which keeps the per-bit Python
+overhead low (guides: vectorize, avoid per-element Python loops where
+the layout allows it). The kernel imports happen at call time because
+:mod:`repro.compressors.kernels` itself depends on this module.
 
 Bit order is MSB-first within each byte, matching ``np.packbits``'s
 default ``bitorder='big'``.
@@ -81,16 +83,20 @@ class BitWriter:
         """Pack the stream into bytes (zero-padded to a byte boundary)."""
         if not self._chunks:
             return b""
+        from repro.compressors.kernels import pack_bits
+
         bits = np.concatenate(self._chunks)
-        return np.packbits(bits).tobytes()
+        return pack_bits(bits).tobytes()
 
 
 class BitReader:
     """Sequential reader over a byte string produced by :class:`BitWriter`."""
 
     def __init__(self, data: bytes, nbits: int | None = None) -> None:
+        from repro.compressors.kernels import unpack_bits
+
         buf = np.frombuffer(bytes(data), dtype=np.uint8)
-        self._bits = np.unpackbits(buf)
+        self._bits = unpack_bits(buf)
         if nbits is not None:
             if nbits > self._bits.size:
                 raise ValueError(

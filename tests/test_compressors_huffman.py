@@ -154,3 +154,65 @@ class TestDecodeValidation:
         codec = HuffmanCodec.from_data([1, 2])
         with pytest.raises(ValueError):
             codec.decode(np.empty(0, dtype=np.uint8), 3)
+
+
+class TestEmptyAndSingleSymbolEdgeCases:
+    """Explicit 0-length-input and alphabet-of-one coverage, per backend."""
+
+    @pytest.fixture(params=["scalar", "vector"])
+    def backend(self, request):
+        from repro.compressors import kernels
+
+        with kernels.use_backend(request.param):
+            yield request.param
+
+    def test_encode_empty_array_emits_nothing(self, backend):
+        codec = HuffmanCodec.from_data([4, 5, 4])
+        w = BitWriter()
+        assert codec.encode_to(w, np.empty(0, dtype=np.int64)) == 0
+        assert len(w) == 0
+        assert w.getvalue() == b""
+
+    def test_encoded_bit_length_empty(self, backend):
+        codec = HuffmanCodec.from_data([4, 5])
+        assert codec.encoded_bit_length([]) == 0
+
+    def test_decode_zero_count_from_empty_stream(self, backend):
+        codec = HuffmanCodec.from_data([4, 5])
+        out = codec.decode(np.empty(0, dtype=np.uint8), 0)
+        assert out.size == 0 and out.dtype == np.int64
+
+    def test_from_data_empty_rejected(self, backend):
+        with pytest.raises(ValueError, match="non-empty"):
+            HuffmanCodec.from_data(np.empty(0, dtype=np.int64))
+
+    def test_single_symbol_codec_shape(self, backend):
+        codec = HuffmanCodec.from_data([9, 9, 9])
+        assert codec.alphabet.tolist() == [9]
+        assert codec.max_code_length == 1
+        assert codec.code_length(9) == 1
+
+    def test_single_symbol_full_roundtrip(self, backend):
+        # One symbol costs one bit; byte padding past the stream end
+        # must not confuse the decoder.
+        data = [123] * 11
+        assert roundtrip(data).tolist() == data
+
+    def test_single_symbol_serialize_roundtrip(self, backend):
+        codec = HuffmanCodec.from_data([-6])
+        w = BitWriter()
+        codec.serialize_to(w)
+        codec2 = HuffmanCodec.deserialize_from(BitReader(w.getvalue(), nbits=len(w)))
+        assert codec2.alphabet.tolist() == [-6]
+        assert codec2.max_code_length == 1
+
+    def test_empty_then_single_symbol_stream(self, backend):
+        # SZ encodes residual streams of length 0 for 1-element arrays;
+        # an empty encode followed by decode(count=0) is a legal pair.
+        codec = HuffmanCodec.from_data([0])
+        w = BitWriter()
+        nbits = codec.encode_to(w, [])
+        assert nbits == 0
+        assert codec.decode_from(
+            BitReader(w.getvalue(), nbits=0), 0, 0
+        ).size == 0
