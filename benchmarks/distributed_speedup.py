@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Distributed campaign-sweep scaling benchmark.
+
+Runs the same checkpoint-campaign sweep serially and through a local
+worker fleet, verifies the reports are byte-identical (the cache's
+canonical encoding), and reports wall time and speedup. On a 4-core
+runner a 4-worker fleet exceeds 2x serial: each campaign point is an
+independent pure-Python simulation, so it scales across processes the
+moment the per-point cost amortizes shipping the sample field once per
+worker.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/distributed_speedup.py
+    PYTHONPATH=src python benchmarks/distributed_speedup.py --quick  # smoke
+    PYTHONPATH=src python benchmarks/distributed_speedup.py \
+        --workers 4 --min-speedup 2.0                                # CI gate
+
+Exit status is non-zero if the distributed output differs from serial,
+or if ``--min-speedup`` is requested and the fleet falls short.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--workers", type=int, default=4)
+    ap.add_argument("--points", type=int, default=8,
+                    help="campaign points (error bounds) in the sweep")
+    ap.add_argument("--scale", type=int, default=4,
+                    help="sample-field downscale (smaller = bigger field; "
+                         "4 gives ~3 s/point, enough to amortize the fleet)")
+    ap.add_argument("--repeats", type=int, default=2,
+                    help="measurement repeats per snapshot")
+    ap.add_argument("--quick", action="store_true",
+                    help="tiny sweep: equivalence check only")
+    ap.add_argument("--min-speedup", type=float, default=0.0,
+                    help="fail unless the fleet reaches this speedup")
+    args = ap.parse_args(argv)
+
+    from repro.cache import ResultCache, encode_value, set_cache
+    from repro.distributed import DistributedExecutor
+    from repro.hardware.cpu import SKYLAKE_4114
+    from repro.workflow.campaign import CheckpointCampaign, run_campaign_sweep
+
+    if args.quick:
+        args.points, args.repeats = min(args.points, 4), 1
+        args.scale = max(args.scale, 32)
+    bounds = tuple(float(b) for b in np.logspace(-1, -4, args.points))
+    campaign = CheckpointCampaign(
+        snapshot_bytes=int(16e9), n_snapshots=2, compute_interval_s=600.0
+    )
+    from repro.data import load_field
+
+    sample = load_field("nyx", "velocity_x", scale=args.scale)
+
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        cores = os.cpu_count() or 1
+    print(f"sweep: {args.points} points, scale {args.scale}, "
+          f"repeats {args.repeats}; fleet of {args.workers} "
+          f"on {cores} core(s)")
+    if cores < args.workers:
+        print(f"warning: only {cores} usable core(s) for {args.workers} "
+              f"workers — the fleet cannot beat serial here",
+              file=sys.stderr)
+
+    def sweep(executor, workers=None):
+        # Each leg recomputes from scratch: caching is the *other*
+        # benchmark (cache_speedup.py).
+        set_cache(ResultCache(enabled=False))
+        t0 = time.perf_counter()
+        reports = run_campaign_sweep(
+            SKYLAKE_4114, "sz", sample, bounds, campaign,
+            repeats=args.repeats, seed=3, executor=executor, workers=workers,
+        )
+        return reports, time.perf_counter() - t0
+
+    serial, serial_wall = sweep("serial")
+    fleet = DistributedExecutor(args.workers, heartbeat_s=0.5,
+                                heartbeat_timeout_s=10.0)
+    try:
+        distributed, dist_wall = sweep(fleet, workers=args.workers)
+    finally:
+        fleet.close()
+
+    identical = encode_value(list(serial)) == encode_value(list(distributed))
+    speedup = serial_wall / dist_wall if dist_wall else float("inf")
+    print(f"\n{'backend':<14} {'wall s':>8} {'vs serial':>10}  identical")
+    print(f"{'serial':<14} {serial_wall:8.3f} {'1.00x':>10}  True")
+    print(f"{'distributed':<14} {dist_wall:8.3f} {speedup:9.2f}x  {identical}")
+
+    if not identical:
+        print("FAIL: distributed sweep differs from the serial reference",
+              file=sys.stderr)
+        return 1
+    if args.min_speedup and speedup < args.min_speedup:
+        print(f"FAIL: fleet speedup {speedup:.2f}x < required "
+              f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

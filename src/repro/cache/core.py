@@ -221,6 +221,15 @@ class ResultCache:
         return out
 
     @property
+    def disk_directory(self) -> Optional[str]:
+        """The disk tier's directory, or ``None`` when memory-only.
+
+        The distributed coordinator forwards this to spawned workers so
+        the whole fleet shares one content-addressed store.
+        """
+        return self._disk.directory if self._disk is not None else None
+
+    @property
     def hit_ratio(self) -> float:
         """Hits over lookups this session (0.0 before any lookup)."""
         with self._stats_lock:

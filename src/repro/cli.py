@@ -47,8 +47,11 @@ def _add_executor_args(p: argparse.ArgumentParser) -> None:
                    help="worker count for slab-parallel execution "
                         "(default: CPU count)")
     p.add_argument("--executor", default="auto",
-                   choices=("auto", "serial", "thread", "process"),
-                   help="execution backend for independent slabs")
+                   choices=("auto", "serial", "thread", "process",
+                            "distributed"),
+                   help="execution backend for independent slabs "
+                        "(distributed shards across a worker fleet; "
+                        "see 'repro-tool workers')")
 
 
 def _check_executor_args(args) -> None:
@@ -99,6 +102,12 @@ def _install_cache(args):
     the caller invokes the returned callable when the command finishes
     so the process-wide cache is exactly what it was before.
     """
+    if args.command in ("cache", "workers"):
+        # These commands take --cache-dir as the *object* they operate
+        # on (a store to inspect, a fleet's shared directory), not as
+        # this process's cache config; installing a disk tier here
+        # would create the directory as a side effect.
+        return None
     cache_dir = getattr(args, "cache_dir", None)
     no_cache = getattr(args, "no_cache", False)
     if cache_dir is None and not no_cache:
@@ -271,6 +280,19 @@ def build_parser() -> argparse.ArgumentParser:
     pc = cache_sub.add_parser("clear", help="delete every cached entry")
     pc.add_argument("--cache-dir", required=True, metavar="DIR",
                     help="on-disk cache to clear")
+
+    p = sub.add_parser("workers",
+                       help="launch a local worker fleet for a "
+                            "distributed-executor coordinator")
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="coordinator address (set REPRO_DIST_LISTEN on "
+                        "the coordinator side to pin one)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="processes to launch (default: CPU count)")
+    p.add_argument("--heartbeat", type=float, default=0.5,
+                   help="seconds between liveness heartbeats")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="shared on-disk result cache for the fleet")
 
     p = sub.add_parser("cluster",
                        help="simulate an N-node dump through a shared NFS")
@@ -648,8 +670,28 @@ def _cmd_faults(args) -> int:
 
 
 def _cmd_cache(args) -> int:
+    import os
+
     from repro.cache import ResultCache, get_cache
 
+    # A configured-but-nonexistent directory is an empty store, not an
+    # error — and inspecting it must not create it as a side effect
+    # (ResultCache's disk tier would mkdir on construction).
+    if args.cache_dir is not None and not os.path.isdir(args.cache_dir):
+        if os.path.exists(args.cache_dir):
+            print(f"error: {args.cache_dir} is not a directory",
+                  file=sys.stderr)
+            return 1
+        if args.action == "clear":
+            print(f"{args.cache_dir}: 0 entrie(s) removed (no such cache)")
+            return 0
+        print("enabled        : True")
+        print("hits / misses  : 0 / 0")
+        print("evictions      : 0")
+        print("memory entries : 0 (0 bytes)")
+        print(f"disk dir       : {args.cache_dir} (not created yet)")
+        print("disk entries   : 0 (0 bytes)")
+        return 0
     if args.action == "clear":
         removed = ResultCache(disk_dir=args.cache_dir).clear()
         print(f"{args.cache_dir}: {removed} entrie(s) removed")
@@ -754,6 +796,39 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _cmd_workers(args) -> int:
+    import subprocess
+
+    host, sep, port = args.connect.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(
+            f"--connect must be HOST:PORT, got {args.connect!r}"
+        )
+    from repro.parallel import default_workers
+
+    n = args.workers if args.workers is not None else default_workers()
+    if n < 1:
+        raise ValueError(f"workers must be >= 1, got {n}")
+    cmd = [
+        sys.executable, "-m", "repro.distributed.worker",
+        "--connect", args.connect,
+        "--heartbeat", str(args.heartbeat),
+    ]
+    if args.cache_dir:
+        cmd += ["--cache-dir", args.cache_dir]
+    procs = [subprocess.Popen(cmd) for _ in range(n)]
+    print(f"{n} worker(s) -> {args.connect} "
+          f"(pids {', '.join(str(p.pid) for p in procs)})", flush=True)
+    try:
+        return max(p.wait() for p in procs)
+    except KeyboardInterrupt:
+        for p in procs:
+            p.terminate()
+        for p in procs:
+            p.wait()
+        return 130
+
+
 _HANDLERS = {
     "datasets": _cmd_datasets,
     "generate": _cmd_generate,
@@ -769,6 +844,7 @@ _HANDLERS = {
     "cluster": _cmd_cluster,
     "serve": _cmd_serve,
     "cache": _cmd_cache,
+    "workers": _cmd_workers,
 }
 
 

@@ -1,0 +1,73 @@
+"""Distributed sharded execution: coordinator/worker fleet over TCP.
+
+This package turns the :mod:`repro.parallel` executor abstraction into
+a multi-*process-tree* fleet: a :class:`DistributedExecutor` shards a
+map across independent worker processes connected by a verified wire
+protocol, survives worker SIGKILLs by reassigning in-flight shards, and
+commits every shard result at most once so the output stays
+byte-identical to a serial run.
+
+Layering (no cycles):
+
+* :mod:`repro.distributed.wire` — framing, CRC, blob packing (stdlib only).
+* :mod:`repro.distributed.shards` — deterministic worker-count-independent
+  shard planning.
+* :mod:`repro.distributed.worker` — the worker process entry point.
+* :mod:`repro.distributed.coordinator` — the executor itself.
+
+``repro.parallel`` registers the ``"distributed"`` backend lazily so
+importing the parallel layer never drags sockets or subprocess
+machinery in.
+"""
+
+from repro.distributed.coordinator import (
+    DistributedExecutor,
+    FleetError,
+    WorkerLostError,
+)
+from repro.distributed.shards import Shard, ShardPlan, plan_shards
+from repro.distributed.wire import (
+    MAGIC,
+    MAX_FRAME_BYTES,
+    WireCorruptionError,
+    WireError,
+    WireTruncatedError,
+    decode_frame,
+    encode_frame,
+    pack_blob,
+    recv_frame,
+    send_frame,
+    unpack_blob,
+)
+
+
+def __getattr__(name):
+    # ``run_worker`` loads lazily: eagerly importing ``.worker`` here
+    # would shadow the ``python -m repro.distributed.worker`` entry
+    # point (runpy's double-import warning) for every spawned process.
+    if name == "run_worker":
+        from repro.distributed.worker import run_worker
+
+        return run_worker
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "DistributedExecutor",
+    "FleetError",
+    "WorkerLostError",
+    "Shard",
+    "ShardPlan",
+    "plan_shards",
+    "MAGIC",
+    "MAX_FRAME_BYTES",
+    "WireError",
+    "WireTruncatedError",
+    "WireCorruptionError",
+    "encode_frame",
+    "decode_frame",
+    "send_frame",
+    "recv_frame",
+    "pack_blob",
+    "unpack_blob",
+    "run_worker",
+]

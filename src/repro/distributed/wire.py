@@ -1,0 +1,202 @@
+"""Length-prefixed JSON wire protocol with per-message CRC.
+
+Every message between the coordinator and its workers is one *frame*::
+
+    magic   4 bytes  b"RPDW"
+    length  4 bytes  big-endian payload byte count
+    crc32   4 bytes  big-endian CRC-32 of exactly the payload bytes
+    payload N bytes  UTF-8 canonical JSON
+
+The framing is deliberately dumb: no compression, no negotiation, no
+streaming state. What it buys is *verifiability* — a frame either
+decodes to exactly the object that was sent, or it raises. Truncation
+at any byte raises :class:`WireTruncatedError`; a flipped bit anywhere
+(header or payload) raises :class:`WireCorruptionError` via the magic,
+length or CRC check before the JSON parser ever runs. Decoding is a
+pure function of the buffer, so a malformed peer can never hang the
+reader — socket reads are bounded by the declared length and by the
+socket timeout the caller configured.
+
+Python objects that JSON cannot carry (task callables, NumPy arrays,
+report dataclasses) travel as pickle blobs wrapped by
+:func:`pack_blob`/:func:`unpack_blob` — base64 text inside the JSON
+payload, so the frame stays a single self-verifying unit. Workers are
+trusted peers spawned from this codebase (the fleet is a local process
+tree, not a public endpoint), which is the standard trust model for
+``multiprocessing``-style pickled task shipping.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+import struct
+import zlib
+from typing import Any, Optional, Tuple
+
+__all__ = [
+    "MAGIC",
+    "HEADER_BYTES",
+    "MAX_FRAME_BYTES",
+    "WireError",
+    "WireTruncatedError",
+    "WireCorruptionError",
+    "encode_frame",
+    "decode_frame",
+    "send_frame",
+    "recv_frame",
+    "pack_blob",
+    "unpack_blob",
+]
+
+MAGIC = b"RPDW"
+_HEADER = struct.Struct(">4sII")
+HEADER_BYTES = _HEADER.size  # 12
+
+#: Hard frame-size ceiling. Campaign points and reports are kilobytes;
+#: pickled sample fields a few megabytes. Anything past this is a
+#: corrupted length field, not a real message.
+MAX_FRAME_BYTES = 256 << 20
+
+
+class WireError(ValueError):
+    """Base class for every framing failure."""
+
+
+class WireTruncatedError(WireError):
+    """The buffer/stream ended before the declared frame did."""
+
+
+class WireCorruptionError(WireError):
+    """Magic, length or CRC verification failed; the frame is damaged."""
+
+
+def encode_frame(doc: Any) -> bytes:
+    """Serialize *doc* (a JSON-able object) into one framed message."""
+    payload = json.dumps(
+        doc, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise WireError(
+            f"message of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame ceiling"
+        )
+    return _HEADER.pack(MAGIC, len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_frame(buf: bytes) -> Tuple[Any, int]:
+    """Decode one frame from the head of *buf*.
+
+    Returns ``(doc, consumed_bytes)``. Raises
+    :class:`WireTruncatedError` when *buf* holds only a prefix of the
+    frame (read more and retry) and :class:`WireCorruptionError` when
+    any verification fails. Pure: never blocks, never loops.
+    """
+    buf = bytes(buf)
+    if len(buf) < HEADER_BYTES:
+        raise WireTruncatedError(
+            f"need {HEADER_BYTES} header bytes, have {len(buf)}"
+        )
+    magic, length, crc = _HEADER.unpack_from(buf)
+    if magic != MAGIC:
+        raise WireCorruptionError(
+            f"bad frame magic {magic!r} (expected {MAGIC!r})"
+        )
+    if length > MAX_FRAME_BYTES:
+        raise WireCorruptionError(
+            f"declared payload of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte ceiling; length field is corrupt"
+        )
+    end = HEADER_BYTES + length
+    if len(buf) < end:
+        raise WireTruncatedError(
+            f"frame declares {length} payload bytes, have {len(buf) - HEADER_BYTES}"
+        )
+    payload = buf[HEADER_BYTES:end]
+    if zlib.crc32(payload) != crc:
+        raise WireCorruptionError(
+            f"payload CRC mismatch on {length}-byte frame; "
+            "the message is damaged"
+        )
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        # CRC passed but the JSON is bad: the *sender* framed garbage.
+        raise WireCorruptionError(f"frame payload is not valid JSON: {exc}") from exc
+    return doc, end
+
+
+def send_frame(sock: socket.socket, doc: Any) -> int:
+    """Frame and send *doc*; returns the bytes put on the wire."""
+    frame = encode_frame(doc)
+    sock.sendall(frame)
+    return len(frame)
+
+
+def _recv_exact(sock: socket.socket, n: int, *, at_boundary: bool) -> Optional[bytes]:
+    """Read exactly *n* bytes, or ``None`` on clean EOF at a boundary.
+
+    EOF anywhere *inside* a frame raises :class:`WireTruncatedError` —
+    a peer that dies mid-message must surface as an error, never as a
+    silently short read.
+    """
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(n - got)
+        if not chunk:
+            if at_boundary and got == 0:
+                return None
+            raise WireTruncatedError(
+                f"connection closed {got}/{n} bytes into a frame"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+        at_boundary = False
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Any]:
+    """Receive one frame; ``None`` on clean EOF between frames.
+
+    Blocking is bounded by the socket's own timeout (``socket.timeout``
+    propagates to the caller) and by the declared payload length — the
+    reader never waits for more bytes than the verified header names.
+    """
+    header = _recv_exact(sock, HEADER_BYTES, at_boundary=True)
+    if header is None:
+        return None
+    magic, length, crc = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise WireCorruptionError(
+            f"bad frame magic {magic!r} (expected {MAGIC!r})"
+        )
+    if length > MAX_FRAME_BYTES:
+        raise WireCorruptionError(
+            f"declared payload of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte ceiling; length field is corrupt"
+        )
+    payload = _recv_exact(sock, length, at_boundary=False) if length else b""
+    if zlib.crc32(payload) != crc:
+        raise WireCorruptionError(
+            f"payload CRC mismatch on {length}-byte frame; "
+            "the message is damaged"
+        )
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireCorruptionError(f"frame payload is not valid JSON: {exc}") from exc
+
+
+def pack_blob(obj: Any) -> str:
+    """Pickle *obj* into base64 text safe to embed in a JSON payload."""
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def unpack_blob(text: str) -> Any:
+    """Inverse of :func:`pack_blob`."""
+    return pickle.loads(base64.b64decode(text.encode("ascii")))

@@ -26,8 +26,10 @@ not-yet-started work and is re-raised to the caller.
 from __future__ import annotations
 
 import abc
+import importlib
 import multiprocessing
 import os
+import threading
 import time
 from concurrent.futures import FIRST_EXCEPTION
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
@@ -240,6 +242,7 @@ class _PoolExecutor(Executor):
     def __init__(self, workers: int | None = None) -> None:
         super().__init__(workers if workers is not None else default_workers())
         self._pool = None
+        self._close_lock = threading.Lock()
 
     @abc.abstractmethod
     def _make_pool(self):
@@ -280,9 +283,25 @@ class _PoolExecutor(Executor):
         return results
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
+        """Shut the pool down; idempotent and safe from ``__del__``.
+
+        Interpreter shutdown can run ``__del__`` on a thread that is
+        concurrently inside an explicit ``close()`` (or a second
+        ``close()`` from a ``with`` block after a manual one), so the
+        pool handle is claimed under a lock and shut down exactly once.
+        """
+        with self._close_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            # Finalizers must never raise; a half-torn-down interpreter
+            # can legitimately fail the shutdown call.
+            pass
 
 
 class ThreadExecutor(_PoolExecutor):
@@ -317,10 +336,18 @@ _BACKENDS = {
     ProcessExecutor.name: ProcessExecutor,
 }
 
+#: Backends resolved on first use. ``repro.distributed`` imports this
+#: module for the :class:`Executor` base, so its executor registers by
+#: dotted path instead of by import — the parallel layer stays free of
+#: socket/subprocess machinery until someone actually asks for a fleet.
+_LAZY_BACKENDS = {
+    "distributed": ("repro.distributed.coordinator", "DistributedExecutor"),
+}
+
 
 def available_executors() -> Tuple[str, ...]:
     """Names of the registered backends (plus the ``auto`` selector)."""
-    return tuple(sorted(_BACKENDS)) + ("auto",)
+    return tuple(sorted((*_BACKENDS, *_LAZY_BACKENDS))) + ("auto",)
 
 
 def choose_backend(
@@ -353,8 +380,17 @@ def choose_backend(
 
 
 def get_executor(kind: str, workers: int | None = None) -> Executor:
-    """Instantiate a backend by name (``serial``/``thread``/``process``)."""
+    """Instantiate a backend by name.
+
+    ``serial``/``thread``/``process`` construct directly;
+    ``distributed`` imports its module on first use (see
+    ``_LAZY_BACKENDS``). ``choose_backend`` never auto-selects the
+    distributed backend — a fleet is something callers opt into.
+    """
     key = kind.lower()
+    if key in _LAZY_BACKENDS and key not in _BACKENDS:
+        module_name, attr = _LAZY_BACKENDS[key]
+        _BACKENDS[key] = getattr(importlib.import_module(module_name), attr)
     if key not in _BACKENDS:
         raise KeyError(
             f"unknown executor {kind!r}; available: {available_executors()}"

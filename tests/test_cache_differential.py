@@ -116,7 +116,8 @@ class TestCampaignSweepDifferential:
         for a, b in zip(cold, warm):
             assert encode_value(a) == encode_value(b)
 
-    @pytest.mark.parametrize("warm_executor", ["thread", "process"])
+    @pytest.mark.parametrize("warm_executor", ["thread", "process",
+                                               "distributed"])
     def test_serial_cold_serves_pool_warm(
         self, fresh_state, sample, warm_executor
     ):

@@ -110,6 +110,57 @@ class TestConflictingExecutorFlags:
         assert "conflicts" in capsys.readouterr().err
 
 
+class TestCacheSubcommandPaths:
+    def test_stats_on_missing_dir_reports_empty_store(self, tmp_path, capsys):
+        missing = tmp_path / "never-created"
+        assert main(["cache", "stats", "--cache-dir", str(missing)]) == 0
+        out = capsys.readouterr().out
+        assert "disk entries   : 0" in out
+        assert "not created yet" in out
+        # Inspecting must not create the directory as a side effect.
+        assert not missing.exists()
+
+    def test_clear_on_missing_dir_is_a_noop(self, tmp_path, capsys):
+        missing = tmp_path / "never-created"
+        assert main(["cache", "clear", "--cache-dir", str(missing)]) == 0
+        assert "0 entrie(s) removed" in capsys.readouterr().out
+        assert not missing.exists()
+
+    def test_stats_on_file_path_is_an_error(self, tmp_path, capsys):
+        not_a_dir = tmp_path / "plain-file"
+        not_a_dir.write_text("x")
+        assert main(["cache", "stats", "--cache-dir", str(not_a_dir)]) == 1
+        err = capsys.readouterr().err
+        assert "not a directory" in err
+        assert "Traceback" not in err
+
+
+class TestWorkersSubcommand:
+    def test_rejects_malformed_connect_address(self, capsys):
+        assert main(["workers", "--connect", "nocolonhere"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "HOST:PORT" in err
+
+    def test_rejects_nonnumeric_port(self, capsys):
+        assert main(["workers", "--connect", "localhost:http"]) == 1
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_rejects_zero_workers(self, capsys):
+        assert main(["workers", "--connect", "127.0.0.1:1",
+                     "--workers", "0"]) == 1
+        assert "workers must be >= 1" in capsys.readouterr().err
+
+    def test_workers_launcher_does_not_create_cache_dir(self, capsys):
+        # --cache-dir on the launcher is forwarded to workers, not
+        # installed as this process's cache (which would mkdir).
+        assert main(["workers", "--connect", "bad-address",
+                     "--cache-dir", "/tmp/nonexistent-fleet-cache"]) == 1
+        import os
+
+        assert not os.path.exists("/tmp/nonexistent-fleet-cache")
+
+
 class TestArtifactsOnFailure:
     def test_artifacts_written_when_command_fails(self, tmp_path, capsys):
         bad = tmp_path / "bad.json"

@@ -1,0 +1,144 @@
+"""Property suite for the deterministic shard planner.
+
+Three properties carry the distributed layer's correctness:
+
+1. **Exact cover** — every item index appears in exactly one shard.
+2. **Determinism** — the same ``(n_items, max_shard_items, seed)``
+   always yields identical shards with identical ids.
+3. **Worker-count independence** — the planner's signature has no
+   worker parameter *by contract*: shard membership and ids cannot move
+   when the fleet grows, shrinks, or loses workers mid-map, which is
+   what makes shard ids safe to use as cache keys.
+"""
+
+import inspect
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed.shards import Shard, ShardPlan, plan_shards
+
+n_items_st = st.integers(0, 500)
+shard_size_st = st.integers(1, 64)
+seed_st = st.integers(0, 2**31)
+
+
+class TestExactCover:
+    @given(n_items_st, shard_size_st, seed_st)
+    @settings(max_examples=200, deadline=None)
+    def test_every_item_in_exactly_one_shard(self, n, k, seed):
+        plan = plan_shards(n, k, seed)
+        covered = sorted(i for s in plan.shards for i in s.item_indices)
+        assert covered == list(range(n))
+
+    @given(n_items_st, shard_size_st, seed_st)
+    @settings(max_examples=100, deadline=None)
+    def test_shards_are_contiguous_and_ordered(self, n, k, seed):
+        plan = plan_shards(n, k, seed)
+        flat = [i for s in plan.shards for i in s.item_indices]
+        assert flat == list(range(n))
+        for ordinal, shard in enumerate(plan.shards):
+            assert shard.index == ordinal
+
+    def test_tampered_plan_is_rejected(self):
+        plan = plan_shards(4, 2, 0)
+        with pytest.raises(ValueError):
+            ShardPlan(n_items=4, seed=0, shards=plan.shards[:1])
+        with pytest.raises(ValueError):
+            ShardPlan(n_items=4, seed=0, shards=plan.shards + plan.shards[:1])
+
+
+class TestDeterminism:
+    @given(n_items_st, shard_size_st, seed_st)
+    @settings(max_examples=100, deadline=None)
+    def test_same_inputs_same_plan(self, n, k, seed):
+        a = plan_shards(n, k, seed)
+        b = plan_shards(n, k, seed)
+        assert a == b
+        assert [s.shard_id for s in a.shards] == [
+            s.shard_id for s in b.shards
+        ]
+
+    @given(st.integers(1, 200), shard_size_st, seed_st, seed_st)
+    @settings(max_examples=80, deadline=None)
+    def test_seed_moves_ids_not_membership(self, n, k, s1, s2):
+        a = plan_shards(n, k, s1)
+        b = plan_shards(n, k, s2)
+        assert [s.item_indices for s in a.shards] == [
+            s.item_indices for s in b.shards
+        ]
+        if s1 != s2:
+            assert all(
+                x.shard_id != y.shard_id
+                for x, y in zip(a.shards, b.shards)
+            )
+
+    @given(st.integers(1, 200), shard_size_st, seed_st)
+    @settings(max_examples=60, deadline=None)
+    def test_ids_are_unique_within_a_plan(self, n, k, seed):
+        plan = plan_shards(n, k, seed)
+        ids = [s.shard_id for s in plan.shards]
+        assert len(set(ids)) == len(ids)
+
+
+class TestWorkerCountIndependence:
+    def test_planner_cannot_see_the_fleet(self):
+        # The keyed-cache stability guarantee is structural: the
+        # planner's signature has no worker/fleet parameter at all, so
+        # no fleet-size change can ever reshuffle shard membership.
+        params = set(inspect.signature(plan_shards).parameters)
+        assert params == {"n_items", "max_shard_items", "seed"}
+
+    @given(st.integers(1, 300), shard_size_st, seed_st,
+           st.integers(1, 16), st.integers(1, 16))
+    @settings(max_examples=80, deadline=None)
+    def test_assignment_simulation_keeps_shards_stable(
+        self, n, k, seed, fleet_a, fleet_b
+    ):
+        # Simulate planning "for" two different fleet sizes: both
+        # fleets receive the identical plan, so every item's shard id
+        # (= its cache key component) is unchanged.
+        plan_for_a = plan_shards(n, k, seed)
+        plan_for_b = plan_shards(n, k, seed)
+        item_to_id_a = {
+            i: s.shard_id for s in plan_for_a.shards for i in s.item_indices
+        }
+        item_to_id_b = {
+            i: s.shard_id for s in plan_for_b.shards for i in s.item_indices
+        }
+        assert item_to_id_a == item_to_id_b
+
+
+class TestBalance:
+    @given(st.integers(1, 500), shard_size_st, seed_st)
+    @settings(max_examples=100, deadline=None)
+    def test_sizes_differ_by_at_most_one(self, n, k, seed):
+        plan = plan_shards(n, k, seed)
+        sizes = [s.n_items for s in plan.shards]
+        assert max(sizes) - min(sizes) <= 1
+        assert max(sizes) <= k
+
+    @given(st.integers(1, 500), shard_size_st)
+    @settings(max_examples=100, deadline=None)
+    def test_shard_count_is_ceil_division(self, n, k):
+        plan = plan_shards(n, k, 0)
+        assert len(plan) == -(-n // k)
+
+    def test_empty_plan(self):
+        plan = plan_shards(0)
+        assert len(plan) == 0
+        assert plan.shards == ()
+
+
+class TestValidation:
+    @pytest.mark.parametrize("n,k", [(-1, 1), (4, 0), (4, -2)])
+    def test_bad_arguments_raise(self, n, k):
+        with pytest.raises(ValueError):
+            plan_shards(n, k)
+
+    def test_bad_shard_construction_raises(self):
+        with pytest.raises(ValueError):
+            Shard(index=-1, item_indices=(0,), shard_id="x")
+        with pytest.raises(ValueError):
+            Shard(index=0, item_indices=(), shard_id="x")

@@ -1,0 +1,199 @@
+"""Fuzz + property tests for the distributed wire protocol.
+
+The framing's whole contract is "decode exactly what was sent, or
+raise": truncation at *every* byte offset must raise
+:class:`WireTruncatedError`, a flipped bit anywhere must raise a
+:class:`WireError` (payload and CRC-field flips specifically the
+:class:`WireCorruptionError` subclass), and decoding is a pure function
+that can never hang on garbage. Socket-level helpers get the same
+treatment over a real ``socketpair``.
+"""
+
+import socket
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed.wire import (
+    HEADER_BYTES,
+    MAGIC,
+    MAX_FRAME_BYTES,
+    WireCorruptionError,
+    WireError,
+    WireTruncatedError,
+    decode_frame,
+    encode_frame,
+    pack_blob,
+    recv_frame,
+    send_frame,
+    unpack_blob,
+)
+
+json_values = st.recursive(
+    st.none() | st.booleans() | st.integers(-(2**31), 2**31)
+    | st.floats(allow_nan=False, allow_infinity=False) | st.text(max_size=40),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=10), children, max_size=4),
+    max_leaves=20,
+)
+
+
+class TestEncodeDecode:
+    @given(json_values)
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip_is_exact(self, doc):
+        frame = encode_frame(doc)
+        decoded, consumed = decode_frame(frame)
+        assert decoded == doc
+        assert consumed == len(frame)
+
+    @given(json_values, st.binary(max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_trailing_bytes_are_not_consumed(self, doc, trailing):
+        frame = encode_frame(doc)
+        decoded, consumed = decode_frame(frame + trailing)
+        assert decoded == doc
+        assert consumed == len(frame)
+
+    def test_frame_layout(self):
+        frame = encode_frame({"a": 1})
+        assert frame[:4] == MAGIC
+        assert len(frame) > HEADER_BYTES
+
+    def test_oversize_message_is_rejected_at_encode(self, monkeypatch):
+        monkeypatch.setattr("repro.distributed.wire.MAX_FRAME_BYTES", 16)
+        with pytest.raises(WireError):
+            encode_frame({"k": "x" * 64})
+
+    def test_forged_oversize_length_is_corruption(self):
+        frame = bytearray(encode_frame({"a": 1}))
+        forged = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        frame[4:8] = forged
+        with pytest.raises(WireCorruptionError):
+            decode_frame(bytes(frame))
+
+
+class TestTruncation:
+    def test_truncation_at_every_byte_raises(self):
+        frame = encode_frame({"points": [1, 2, 3], "id": "abc"})
+        for cut in range(len(frame)):
+            with pytest.raises(WireTruncatedError):
+                decode_frame(frame[:cut])
+
+    @given(json_values)
+    @settings(max_examples=40, deadline=None)
+    def test_truncation_never_decodes_any_doc(self, doc):
+        frame = encode_frame(doc)
+        for cut in (0, 1, HEADER_BYTES - 1, HEADER_BYTES, len(frame) - 1):
+            if cut < len(frame):
+                with pytest.raises(WireTruncatedError):
+                    decode_frame(frame[:cut])
+
+
+class TestBitFlips:
+    def test_single_bit_flip_at_every_byte_raises(self):
+        frame = encode_frame({"shard": 7, "payload": "abcdef" * 4})
+        for pos in range(len(frame)):
+            for bit in (0, 3, 7):
+                damaged = bytearray(frame)
+                damaged[pos] ^= 1 << bit
+                # Never a hang, never a silent wrong decode: any flip
+                # raises some WireError. Length-field flips that inflate
+                # the declared size legitimately read as truncation.
+                with pytest.raises(WireError):
+                    decode_frame(bytes(damaged))
+
+    def test_payload_and_crc_flips_are_corruption(self):
+        frame = encode_frame({"shard": 7, "payload": "abcdef" * 4})
+        crc_and_payload = list(range(8, 12)) + list(
+            range(HEADER_BYTES, len(frame))
+        )
+        for pos in crc_and_payload:
+            damaged = bytearray(frame)
+            damaged[pos] ^= 0x10
+            with pytest.raises(WireCorruptionError):
+                decode_frame(bytes(damaged))
+
+    def test_magic_flip_is_corruption(self):
+        frame = bytearray(encode_frame([1, 2]))
+        frame[0] ^= 0xFF
+        with pytest.raises(WireCorruptionError):
+            decode_frame(bytes(frame))
+
+    def test_valid_crc_over_non_json_is_corruption(self):
+        import struct
+        import zlib
+
+        payload = b"\xff\xfenot json"
+        frame = struct.pack(
+            ">4sII", MAGIC, len(payload), zlib.crc32(payload)
+        ) + payload
+        with pytest.raises(WireCorruptionError):
+            decode_frame(frame)
+
+
+class TestSocketHelpers:
+    def test_send_recv_roundtrip(self):
+        a, b = socket.socketpair()
+        try:
+            docs = [{"type": "task", "n": i} for i in range(5)]
+            sender = threading.Thread(
+                target=lambda: [send_frame(a, d) for d in docs]
+            )
+            sender.start()
+            received = [recv_frame(b) for _ in docs]
+            sender.join()
+            assert received == docs
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_between_frames_is_none(self):
+        a, b = socket.socketpair()
+        send_frame(a, {"x": 1})
+        a.close()
+        try:
+            assert recv_frame(b) == {"x": 1}
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_eof_mid_frame_raises_truncated(self):
+        frame = encode_frame({"big": "y" * 100})
+        for cut in (1, HEADER_BYTES - 1, HEADER_BYTES + 3, len(frame) - 1):
+            a, b = socket.socketpair()
+            a.sendall(frame[:cut])
+            a.close()
+            try:
+                with pytest.raises(WireTruncatedError):
+                    recv_frame(b)
+            finally:
+                b.close()
+
+    def test_corrupt_frame_on_socket_raises_not_hangs(self):
+        a, b = socket.socketpair()
+        damaged = bytearray(encode_frame({"x": list(range(20))}))
+        damaged[-1] ^= 0x01
+        a.sendall(bytes(damaged))
+        a.close()
+        try:
+            b.settimeout(5.0)
+            with pytest.raises(WireCorruptionError):
+                recv_frame(b)
+        finally:
+            b.close()
+
+
+class TestBlobs:
+    @given(st.lists(st.integers() | st.text(max_size=20), max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_blob_roundtrip(self, obj):
+        assert unpack_blob(pack_blob(obj)) == obj
+
+    def test_blob_is_json_safe_text(self):
+        import json
+
+        blob = pack_blob({"arr": list(range(100))})
+        assert json.loads(json.dumps(blob)) == blob

@@ -124,7 +124,7 @@ class TestGoldenReport:
             ["failed", "failed", "failed", "failover"], ["failed", "ok"],
         ] * 2
 
-    @pytest.mark.parametrize("executor", ["thread", "process"])
+    @pytest.mark.parametrize("executor", ["thread", "process", "distributed"])
     def test_identical_across_executors(self, executor):
         assert golden_sweep(executor, workers=2) == golden_sweep()
 

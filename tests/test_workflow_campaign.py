@@ -103,7 +103,7 @@ class TestCampaignSweep:
             )
             assert rep.io_energy_j == pytest.approx(expected.io_energy_j)
 
-    @pytest.mark.parametrize("executor", ["thread", "process"])
+    @pytest.mark.parametrize("executor", ["thread", "process", "distributed"])
     def test_pool_backends_reproduce_serial(self, sample, executor):
         kwargs = dict(repeats=1, seed=3)
         serial = run_campaign_sweep(
