@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Governor regret benchmark: adaptive vs static vs oracle.
+
+Plays the same governed checkpoint campaign under three policies on
+two worlds and reports each policy's *regret* — extra energy over the
+oracle, which reads the simulation's ground-truth curves:
+
+* **calibrated** — the paper's fitted Broadwell curves. The static
+  Eqn. 3 rule is optimal here by construction; the adaptive governor
+  must converge to (essentially) the same frequencies from telemetry
+  alone.
+* **perturbed** — the dynamic power term flattened 5x
+  (:class:`PerturbedPowerCurve` with ``dynamic_scale=0.2``, >20 % off
+  the calibrated curve at fmax). Slowing down now buys almost no
+  power, so Eqn. 3's open-loop pin is mistuned; a closed loop must
+  notice and race back toward fmax.
+
+Gates (exit 1 with ``FAILED`` on stderr):
+
+* perturbed: adaptive regret must be strictly below static regret on
+  every seed — the whole point of closing the loop;
+* calibrated: adaptive energy within ``--tolerance`` (default 2.5 %)
+  of static.
+
+CI usage (see the ``governor`` job in ``.github/workflows/ci.yml``)::
+
+    PYTHONPATH=src python benchmarks/governor_regret.py --smoke
+
+Refresh the committed artifact with::
+
+    PYTHONPATH=src python benchmarks/governor_regret.py \
+        --output benchmarks/BENCH_governor.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.governor import make_governor, simulate_governed_io
+from repro.hardware.cpu import BROADWELL_D1548
+from repro.hardware.node import SimulatedNode
+from repro.hardware.powercurves import CalibratedPowerCurve, PerturbedPowerCurve
+
+CPU = BROADWELL_D1548
+POLICIES = ("static", "adaptive", "oracle")
+
+
+def make_curve(world: str):
+    if world == "calibrated":
+        return CalibratedPowerCurve()
+    return PerturbedPowerCurve(dynamic_scale=0.2)
+
+
+def run_policy(world: str, policy: str, seed: int, snapshots: int) -> dict:
+    node = SimulatedNode(CPU, power_curve=make_curve(world), seed=seed)
+    governor = make_governor(policy, CPU, seed=seed,
+                             power_curve=node.power_curve)
+    result = simulate_governed_io(node, governor, snapshots=snapshots)
+    report = governor.report()
+    return {
+        "energy_j": result.energy_j,
+        "runtime_s": result.runtime_s,
+        "frequencies": dict(report.frequencies),
+        "converged": all(c for _, c in report.converged),
+        "refits": report.refits,
+        "trace_sha256": report.trace_sha256,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--snapshots", type=int, default=24,
+                    help="snapshots per campaign")
+    ap.add_argument("--seeds", type=int, default=3,
+                    help="independent seeds per (world, policy) cell")
+    ap.add_argument("--tolerance", type=float, default=0.025,
+                    help="allowed adaptive-over-static energy ratio on "
+                         "the calibrated world")
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI mode: one seed, fewer snapshots")
+    ap.add_argument("--output", default=None, metavar="PATH",
+                    help="write the result table as JSON here")
+    args = ap.parse_args(argv)
+    if args.smoke:
+        args.seeds, args.snapshots = 1, 24
+
+    results: dict = {"cpu": CPU.arch, "snapshots": args.snapshots,
+                     "seeds": args.seeds, "worlds": {}}
+    failures = []
+    for world in ("calibrated", "perturbed"):
+        cells: dict = {p: [] for p in POLICIES}
+        for seed in range(args.seeds):
+            for policy in POLICIES:
+                cells[policy].append(run_policy(
+                    world, policy, seed, args.snapshots))
+        results["worlds"][world] = cells
+
+        print(f"\n{world} world ({args.seeds} seed(s), "
+              f"{args.snapshots} snapshots):")
+        for seed in range(args.seeds):
+            oracle_j = cells["oracle"][seed]["energy_j"]
+            line = [f"  seed {seed}:"]
+            for policy in POLICIES:
+                cell = cells[policy][seed]
+                regret = cell["energy_j"] - oracle_j
+                cell["regret_j"] = regret
+                line.append(f"{policy} {cell['energy_j']:7.1f} J "
+                            f"(+{regret:5.1f})")
+            print("  ".join(line))
+
+        for seed in range(args.seeds):
+            adaptive = cells["adaptive"][seed]
+            static = cells["static"][seed]
+            if world == "perturbed":
+                if not adaptive["regret_j"] < static["regret_j"]:
+                    failures.append(
+                        f"perturbed seed {seed}: adaptive regret "
+                        f"{adaptive['regret_j']:.1f} J not below static "
+                        f"{static['regret_j']:.1f} J")
+            else:
+                ratio = adaptive["energy_j"] / static["energy_j"]
+                if ratio > 1.0 + args.tolerance:
+                    failures.append(
+                        f"calibrated seed {seed}: adaptive energy "
+                        f"{ratio - 1:+.2%} over static "
+                        f"(tolerance {args.tolerance:.2%})")
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nresults written to {args.output}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("\nOK: adaptive beats static off-calibration and matches it "
+          "on-calibration")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,7 @@ def _ensure_registered() -> None:
     from repro.core.power_model import PowerModel
     from repro.core.runtime_model import RuntimeModel
     from repro.core.tuning import TuningRecommendation
+    from repro.governor import GovernorReport, GovernorSpec
     from repro.hardware.cpu import CpuSpec
     from repro.hardware.node import Measurement
     from repro.hardware.perf import PowerSample
@@ -63,6 +64,7 @@ def _ensure_registered() -> None:
         StageReport, DumpReport, TaskStat, ParallelStats,
         AttemptRecord, SnapshotResilience, FaultSpec, FaultPlan,
         CampaignPoint, CampaignReport, CheckpointCampaign, SweepConfig,
+        GovernorReport, GovernorSpec,
     ):
         _DATACLASSES[cls.__name__] = cls
     for cls in (WorkloadKind, FaultKind):

@@ -12,6 +12,7 @@ decompress  reconstruct a ``.npy`` array from a compressed file
 characterize  run the measurement campaign and save fitted models
 tune        print frequency recommendations from a saved model bundle
 dump        simulate a compress-and-dump and report the energy saved
+govern      run a checkpoint campaign under an online DVFS governor
 faults      validate or emit example fault-injection plans
 experiment  regenerate one of the paper's tables/figures
 ========== ==========================================================
@@ -84,6 +85,32 @@ def _load_fault_plan(args):
     plan = FaultPlan.from_file(args.fault_plan)
     RecoveryPolicy.from_dict(plan.policy_doc)  # fail fast on bad policies
     return plan
+
+
+def _add_governor_args(p: argparse.ArgumentParser) -> None:
+    """--governor knobs for commands whose tuned leg can be governed."""
+    p.add_argument("--governor", default=None,
+                   choices=("static", "adaptive"),
+                   help="steer the tuned run with a DVFS governor instead "
+                        "of pinned Eqn. 3 frequencies (adaptive learns the "
+                        "power curve online; see docs/GOVERNOR.md)")
+    p.add_argument("--governor-seed", type=int, default=0,
+                   help="RNG seed for the adaptive governor's exploration")
+    p.add_argument("--governor-window", type=int, default=64,
+                   help="telemetry window per incremental refit (>= 4)")
+
+
+def _check_governor_plan(name, plan) -> None:
+    """Reject two actuators fighting over one frequency knob."""
+    if name != "adaptive" or plan is None:
+        return
+    if "dvfs-throttle" in plan.kinds():
+        raise ValueError(
+            "--governor adaptive conflicts with a fault plan that injects "
+            "dvfs-throttle: the governor and the fault would both cap the "
+            "same DVFS knob, making the run's energy unattributable; "
+            "drop one of them"
+        )
 
 
 def _add_cache_args(p: argparse.ArgumentParser) -> None:
@@ -201,6 +228,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunk-mb", type=float, default=None,
                    help="shard the ratio measurement into slabs of this size")
     _add_executor_args(p)
+    _add_governor_args(p)
+    _add_fault_args(p)
+    _add_cache_args(p)
+    _add_observability_args(p)
+
+    p = sub.add_parser("govern",
+                       help="run a checkpoint campaign under an online DVFS "
+                            "governor (see docs/GOVERNOR.md)")
+    p.add_argument("--arch", default="broadwell")
+    p.add_argument("--codec", default="sz")
+    p.add_argument("--error-bound", type=float, default=1e-2)
+    p.add_argument("--snapshot-gb", type=float, default=128.0)
+    p.add_argument("--snapshots", type=int, default=12)
+    p.add_argument("--interval-s", type=float, default=3600.0)
+    p.add_argument("--scale", type=int, default=16)
+    # No argparse choices here: the governor registry owns the set of
+    # policies, so an unknown name gets its (richer) error message.
+    p.add_argument("--governor", default="adaptive",
+                   help="policy: static (paper's Eqn. 3), adaptive "
+                        "(online explore/fit/exploit) or oracle "
+                        "(ground-truth lower bound)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the node's sensors and the governor's "
+                        "exploration RNG")
+    p.add_argument("--window", type=int, default=64,
+                   help="telemetry window per incremental refit (>= 4)")
+    p.add_argument("--telemetry-out", default=None, metavar="PATH",
+                   help="write the governor's telemetry stream as JSON lines")
     _add_fault_args(p)
     _add_cache_args(p)
     _add_observability_args(p)
@@ -241,6 +296,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shard each snapshot's ratio measurement into slabs "
                         "of this size (traces then show chunk/slab stages)")
     _add_executor_args(p)
+    _add_governor_args(p)
     _add_fault_args(p)
     _add_cache_args(p)
     _add_observability_args(p)
@@ -512,20 +568,36 @@ def _cmd_dump(args) -> int:
     codec = get_compressor(args.codec)
     target = int(args.target_gb * 1e9)
     plan = _load_fault_plan(args)
+    _check_governor_plan(args.governor, plan)
 
     base = dumper.dump(codec, arr, args.error_bound, target, fault_plan=plan)
-    tuned = dumper.dump(
-        codec, arr, args.error_bound, target,
-        compress_freq_ghz=PAPER_POLICY.frequency_for(cpu, WorkloadKind.COMPRESS_SZ),
-        write_freq_ghz=PAPER_POLICY.frequency_for(cpu, WorkloadKind.WRITE),
-        fault_plan=plan,
-    )
+    if args.governor is not None:
+        from repro.governor import make_governor
+
+        governor = make_governor(
+            args.governor, cpu,
+            seed=args.governor_seed, window=args.governor_window,
+            power_curve=node.power_curve,
+        )
+        tuned = dumper.dump(
+            codec, arr, args.error_bound, target,
+            governor=governor, fault_plan=plan,
+        )
+        tuned_label = f"{args.governor} gov."
+    else:
+        tuned = dumper.dump(
+            codec, arr, args.error_bound, target,
+            compress_freq_ghz=PAPER_POLICY.frequency_for(cpu, WorkloadKind.COMPRESS_SZ),
+            write_freq_ghz=PAPER_POLICY.frequency_for(cpu, WorkloadKind.WRITE),
+            fault_plan=plan,
+        )
+        tuned_label = "Eqn. 3"
     saved = base.total_energy_j - tuned.total_energy_j
     print(f"{args.target_gb:g} GB {args.codec} dump on {args.arch} "
           f"(eb {args.error_bound:g}, ratio {base.compression_ratio:.2f}x):")
     print(f"  base clock : {base.total_energy_j / 1e3:8.2f} kJ "
           f"in {base.total_runtime_s:8.1f} s")
-    print(f"  Eqn. 3     : {tuned.total_energy_j / 1e3:8.2f} kJ "
+    print(f"  {tuned_label:<11s}: {tuned.total_energy_j / 1e3:8.2f} kJ "
           f"in {tuned.total_runtime_s:8.1f} s")
     print(f"  saved      : {saved / 1e3:8.2f} kJ "
           f"({saved / base.total_energy_j:+.1%})")
@@ -539,6 +611,54 @@ def _cmd_dump(args) -> int:
                   f"overhead {res.energy_overhead_j / 1e3:.2f} kJ, "
                   f"failover {'yes' if res.failover else 'no'}, "
                   f"lost {'yes' if res.lost else 'no'}")
+    return 0
+
+
+def _cmd_govern(args) -> int:
+    from repro.compressors import get_compressor
+    from repro.data.registry import load_field
+    from repro.governor import make_governor
+    from repro.hardware.cpu import get_cpu
+    from repro.hardware.node import SimulatedNode
+    from repro.workflow.campaign import CheckpointCampaign, run_campaign
+
+    if args.window < 4:
+        raise ValueError(f"window must be >= 4, got {args.window}")
+    plan = _load_fault_plan(args)
+    _check_governor_plan(args.governor, plan)
+    cpu = get_cpu(args.arch)
+    node = SimulatedNode(cpu, seed=args.seed)
+    governor = make_governor(
+        args.governor, cpu, seed=args.seed, window=args.window,
+        power_curve=node.power_curve,
+    )
+    arr = load_field("nyx", "velocity_x", scale=args.scale)
+    campaign = CheckpointCampaign(
+        snapshot_bytes=int(args.snapshot_gb * 1e9),
+        n_snapshots=args.snapshots,
+        compute_interval_s=args.interval_s,
+    )
+    report = run_campaign(
+        node, get_compressor(args.codec), arr, args.error_bound, campaign,
+        governor=governor, fault_plan=plan,
+    )
+    gov = report.governor
+    print(f"{args.snapshots} snapshots x {args.snapshot_gb:g} GB on "
+          f"{args.arch} under the {gov.policy} governor "
+          f"(eb {args.error_bound:g}, seed {args.seed}):")
+    print(f"  I/O energy   : {report.io_energy_j / 1e3:8.2f} kJ")
+    print(f"  I/O wall time: {report.io_time_s:8.1f} s "
+          f"({report.io_time_fraction:.1%} of the campaign)")
+    freqs = ", ".join(f"{phase} @ {f:.2f} GHz" for phase, f in gov.frequencies)
+    print(f"  frequencies  : {freqs or '(no stages ran)'}")
+    settled = all(c for _, c in gov.converged) and bool(gov.converged)
+    print(f"  converged    : {'yes' if settled else 'no'} "
+          f"({len(gov.decisions)} decisions, {gov.refits} refits, "
+          f"trace {gov.trace_sha256[:12]})")
+    if args.telemetry_out:
+        governor.telemetry.export_jsonl(args.telemetry_out)
+        print(f"telemetry written to {args.telemetry_out} "
+              f"({len(governor.telemetry)} samples)", file=sys.stderr)
     return 0
 
 
@@ -608,19 +728,31 @@ def _cmd_campaign(args) -> int:
     )
     chunk_bytes = None if args.chunk_mb is None else int(args.chunk_mb * 1e6)
     plan = _load_fault_plan(args)
+    _check_governor_plan(args.governor, plan)
+    if args.governor is not None:
+        from repro.governor import GovernorSpec
+
+        tuned_point = CampaignPoint(
+            error_bound=args.error_bound,
+            governor=GovernorSpec(
+                kind=args.governor,
+                seed=args.governor_seed, window=args.governor_window,
+            ),
+        )
+        tuned_label = f"{args.governor} gov."
+    else:
+        tuned_point = CampaignPoint(
+            error_bound=args.error_bound,
+            compress_freq_ghz=cpu.snap_frequency(0.875 * cpu.fmax_ghz),
+            write_freq_ghz=cpu.snap_frequency(0.85 * cpu.fmax_ghz),
+        )
+        tuned_label = "Eqn. 3"
     # Base and tuned are two points of one cached sweep: each runs on a
     # fresh seed-0 node (mutually comparable), and with --cache-dir a
     # re-run recomputes nothing.
     base, tuned = run_campaign_sweep(
         cpu, SZCompressor(), arr,
-        (
-            CampaignPoint(error_bound=args.error_bound),
-            CampaignPoint(
-                error_bound=args.error_bound,
-                compress_freq_ghz=cpu.snap_frequency(0.875 * cpu.fmax_ghz),
-                write_freq_ghz=cpu.snap_frequency(0.85 * cpu.fmax_ghz),
-            ),
-        ),
+        (CampaignPoint(error_bound=args.error_bound), tuned_point),
         campaign,
         chunk_bytes=chunk_bytes, executor=args.executor, workers=args.workers,
         fault_plan=plan,
@@ -629,8 +761,16 @@ def _cmd_campaign(args) -> int:
           f"(eb {args.error_bound:g}):")
     print(f"  I/O share of wall time : {base.io_time_fraction:.1%}")
     print(f"  I/O energy, base clock : {base.io_energy_j / 1e3:8.1f} kJ")
-    print(f"  I/O energy, Eqn. 3     : {tuned.io_energy_j / 1e3:8.1f} kJ "
+    print(f"  I/O energy, {tuned_label:<11s}: {tuned.io_energy_j / 1e3:8.1f} kJ "
           f"({1 - tuned.io_energy_j / base.io_energy_j:.1%} saved)")
+    if tuned.governor is not None:
+        gov = tuned.governor
+        freqs = ", ".join(f"{ph} @ {f:.2f} GHz" for ph, f in gov.frequencies)
+        settled = all(c for _, c in gov.converged) and bool(gov.converged)
+        print(f"  governor               : "
+              f"{'converged' if settled else 'still exploring'} "
+              f"({len(gov.decisions)} decisions, {gov.refits} refits) "
+              f"-> {freqs}")
     print(f"  campaign wall penalty  : "
           f"{tuned.total_wall_s / base.total_wall_s - 1:.2%}")
     if plan is not None:
@@ -837,6 +977,7 @@ _HANDLERS = {
     "characterize": _cmd_characterize,
     "tune": _cmd_tune,
     "dump": _cmd_dump,
+    "govern": _cmd_govern,
     "faults": _cmd_faults,
     "experiment": _cmd_experiment,
     "advise": _cmd_advise,

@@ -207,6 +207,7 @@ class TunedIOPipeline:
         executor: str = "auto",
         workers: Optional[int] = None,
         fault_plan=None,
+        governor=None,
     ) -> SavingsReport:
         """Dump *target_bytes* at base clock and at the tuned frequencies.
 
@@ -218,15 +219,24 @@ class TunedIOPipeline:
         A *fault_plan* (:class:`~repro.resilience.FaultPlan`) applies to
         both the baseline and the tuned dump, so the savings comparison
         stays like-for-like under injected faults.
+
+        *governor* (a :class:`repro.governor.Governor`,
+        :class:`repro.governor.GovernorSpec` or policy name) replaces
+        the fitted recommendations for the tuned dump: the governor
+        picks each stage's clock online, so ``recommend()`` is not
+        required beforehand. The baseline dump stays ungoverned — the
+        comparison remains "base clock vs. controlled".
         """
         node = self._nodes_by_arch.get(arch)
         if node is None:
             raise KeyError(f"no node with architecture {arch!r}")
-        recs = {r.stage: r for r in outcome.recommendations if r.cpu == arch}
-        if set(recs) != {"compress", "write"}:
-            raise ValueError(
-                f"recommendations for {arch!r} missing; call recommend() first"
-            )
+        governor = _resolve_governor(governor, node)
+        if governor is None:
+            recs = {r.stage: r for r in outcome.recommendations if r.cpu == arch}
+            if set(recs) != {"compress", "write"}:
+                raise ValueError(
+                    f"recommendations for {arch!r} missing; call recommend() first"
+                )
         codec = get_compressor(compressor) if isinstance(compressor, str) else compressor
         sample = load_field(dataset, field_name, scale=data_scale, seed=seed)
         dumper = DataDumper(
@@ -245,13 +255,28 @@ class TunedIOPipeline:
                     fault_plan=fault_plan,
                 )
             with tracer.span("pipeline.apply.tuned"):
-                tuned = dumper.dump(
-                    codec,
-                    sample,
-                    error_bound,
-                    target_bytes,
-                    compress_freq_ghz=recs["compress"].freq_ghz,
-                    write_freq_ghz=recs["write"].freq_ghz,
-                    fault_plan=fault_plan,
-                )
+                if governor is not None:
+                    tuned = dumper.dump(
+                        codec, sample, error_bound, target_bytes,
+                        fault_plan=fault_plan, governor=governor,
+                    )
+                else:
+                    tuned = dumper.dump(
+                        codec,
+                        sample,
+                        error_bound,
+                        target_bytes,
+                        compress_freq_ghz=recs["compress"].freq_ghz,
+                        write_freq_ghz=recs["write"].freq_ghz,
+                        fault_plan=fault_plan,
+                    )
         return compare_reports(baseline, tuned)
+
+
+def _resolve_governor(governor, node: SimulatedNode):
+    """Accept a live Governor, a GovernorSpec, or a policy name."""
+    if governor is None:
+        return None
+    from repro.governor import resolve_governor
+
+    return resolve_governor(governor, node.cpu, power_curve=node.power_curve)

@@ -222,6 +222,10 @@ class DistributedExecutor(Executor):
         #: ``repro_dist_reassignments_total`` counter.
         self.reassignment_log: List[Tuple[int, int]] = []
         self.duplicate_results = 0
+        #: Telemetry samples shipped by workers (``telemetry`` frames),
+        #: in arrival order, each annotated with the worker pid. Drained
+        #: by :meth:`drain_telemetry`.
+        self.telemetry: List[dict] = []
 
     # -- fleet assembly ------------------------------------------------
 
@@ -393,6 +397,36 @@ class DistributedExecutor(Executor):
                 self._commit_result(handle, msg)
             elif kind == "task_error":
                 self._commit_failure(handle, msg)
+            elif kind == "telemetry":
+                self._commit_telemetry(handle, msg)
+
+    def _commit_telemetry(self, handle: _WorkerHandle, msg: dict) -> None:
+        """Aggregate a worker's per-phase telemetry frame.
+
+        Telemetry is observational, not transactional: frames from
+        reassigned shards are kept (each is tagged with its worker pid
+        and shard index), because duplicate power samples are still
+        real power draw — deduplication is the consumer's call.
+        """
+        samples = msg.get("samples") or []
+        with self._lock:
+            handle.last_seen = time.monotonic()
+            for sample in samples:
+                record = dict(sample)
+                record["worker_pid"] = handle.pid
+                record["shard_index"] = int(msg.get("shard_index", -1))
+                record["source"] = "distributed"
+                self.telemetry.append(record)
+        _counter(
+            "repro_dist_telemetry_frames_total",
+            "Telemetry frames shipped by fleet workers",
+        ).inc()
+
+    def drain_telemetry(self) -> List[dict]:
+        """Return and clear the aggregated fleet telemetry records."""
+        with self._lock:
+            records, self.telemetry = self.telemetry, []
+        return records
 
     def _commit_result(self, handle: _WorkerHandle, msg: dict) -> None:
         t_done = time.monotonic()

@@ -85,22 +85,34 @@ class WorkerSession:
         fn = self._resolve_fn(msg)
         items = unpack_blob(msg["items"])
         indices: Sequence[int] = msg["item_indices"]
+        # Mirror every telemetry-bus publish made while running this
+        # shard, so governed workloads ship their samples fleet-ward.
+        from repro.governor.telemetry import drain_capture, start_capture
+
+        start_capture()
         results = []
-        for global_index, item in zip(indices, items):
-            try:
-                results.append(fn(item))
-            except BaseException as exc:  # noqa: BLE001 - shipped to the coordinator
-                self.send(
-                    {
-                        "type": "task_error",
-                        "map_id": msg["map_id"],
-                        "shard_index": msg["shard_index"],
-                        "item_index": int(global_index),
-                        "error": pack_blob(exc),
-                        "pid": os.getpid(),
-                    }
-                )
-                return
+        try:
+            for global_index, item in zip(indices, items):
+                try:
+                    results.append(fn(item))
+                except BaseException as exc:  # noqa: BLE001 - shipped to the coordinator
+                    self._send_telemetry(msg, drain_capture())
+                    self.send(
+                        {
+                            "type": "task_error",
+                            "map_id": msg["map_id"],
+                            "shard_index": msg["shard_index"],
+                            "item_index": int(global_index),
+                            "error": pack_blob(exc),
+                            "pid": os.getpid(),
+                        }
+                    )
+                    return
+        finally:
+            samples = drain_capture()
+        # Telemetry goes first so the coordinator has the shard's
+        # samples by the time its result commits.
+        self._send_telemetry(msg, samples)
         self.send(
             {
                 "type": "result",
@@ -108,6 +120,19 @@ class WorkerSession:
                 "shard_index": msg["shard_index"],
                 "shard_id": msg["shard_id"],
                 "results": pack_blob(results),
+                "pid": os.getpid(),
+            }
+        )
+
+    def _send_telemetry(self, msg: dict, samples: list) -> None:
+        if not samples:
+            return
+        self.send(
+            {
+                "type": "telemetry",
+                "map_id": msg["map_id"],
+                "shard_index": msg["shard_index"],
+                "samples": samples,
                 "pid": os.getpid(),
             }
         )

@@ -9,6 +9,7 @@ shortcuts, with grid snapping and range validation.
 from __future__ import annotations
 
 import enum
+import math
 
 from repro.hardware.cpu import CpuSpec
 
@@ -49,8 +50,19 @@ class FrequencyScaler:
         """Pin all cores to *freq_ghz* (snapped to the DVFS grid).
 
         Switches the governor to ``userspace``, like the real tool.
-        Returns the snapped frequency actually applied.
+        Returns the snapped frequency actually applied. NaN, infinite
+        and non-numeric requests are rejected outright — grid snapping
+        on them would otherwise pin an arbitrary frequency (NaN
+        compares false against every bound) instead of failing loudly.
         """
+        try:
+            finite = math.isfinite(freq_ghz)
+        except TypeError:
+            finite = False
+        if not finite:
+            raise FrequencyError(
+                f"frequency must be a finite number, got {freq_ghz!r}"
+            )
         try:
             snapped = self.cpu.snap_frequency(freq_ghz)
         except ValueError as exc:

@@ -27,7 +27,12 @@ import numpy as np
 from repro.hardware.cpu import CpuSpec
 from repro.hardware.workload import WorkloadKind
 
-__all__ = ["PowerCurve", "CalibratedPowerCurve", "PhysicalPowerCurve"]
+__all__ = [
+    "PowerCurve",
+    "CalibratedPowerCurve",
+    "PhysicalPowerCurve",
+    "PerturbedPowerCurve",
+]
 
 
 class PowerCurve(abc.ABC):
@@ -172,6 +177,51 @@ class CalibratedPowerCurve(PowerCurve):
             raise KeyError(f"no calibrated curve for {key}")
         _, _, c = _SHAPE[key]
         return _PEAK_WATTS[key] * c
+
+
+class PerturbedPowerCurve(PowerCurve):
+    """A base curve with its dynamic term rescaled and/or floor shifted.
+
+    The adaptive-governor acceptance test needs a ground truth that has
+    drifted away from calibration — a miscalibrated chip, a different
+    stepping, heavy co-tenancy. ``dynamic_scale`` multiplies the
+    frequency-dependent term (``dynamic_scale < 1`` flattens the curve,
+    making race-to-idle at the max clock optimal — the regime where the
+    paper's static slow-down rule actively loses energy);
+    ``static_shift_w`` moves the floor. The perturbation magnitude at
+    any frequency is ``1 − power/base_power``.
+    """
+
+    def __init__(
+        self,
+        base: PowerCurve | None = None,
+        dynamic_scale: float = 1.0,
+        static_shift_w: float = 0.0,
+    ) -> None:
+        if dynamic_scale < 0:
+            raise ValueError(f"dynamic_scale must be >= 0, got {dynamic_scale}")
+        self.base = base if base is not None else CalibratedPowerCurve()
+        self.dynamic_scale = float(dynamic_scale)
+        self.static_shift_w = float(static_shift_w)
+
+    def power_watts(
+        self,
+        cpu: CpuSpec,
+        freq_ghz: float,
+        kind: WorkloadKind,
+        dynamic_factor: float = 1.0,
+    ) -> float:
+        return self.static_watts(cpu, kind) + self.dynamic_scale * self.base.dynamic_watts(
+            cpu, freq_ghz, kind, dynamic_factor
+        )
+
+    def static_watts(self, cpu: CpuSpec, kind: WorkloadKind) -> float:
+        shifted = self.base.static_watts(cpu, kind) + self.static_shift_w
+        if shifted <= 0:
+            raise ValueError(
+                f"static_shift_w={self.static_shift_w} drives static power non-positive"
+            )
+        return shifted
 
 
 #: Voltage-frequency tables: (f_knee fraction of span, V at fmin, V at

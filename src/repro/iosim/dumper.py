@@ -140,6 +140,7 @@ class DataDumper:
         fault_plan: Optional["FaultPlan"] = None,
         policy: Optional["RecoveryPolicy"] = None,
         snapshot_index: int = 0,
+        governor=None,
     ) -> DumpReport:
         """Compress *target_bytes* worth of data (character taken from
         *sample_field*) and write the result to the NFS.
@@ -155,6 +156,12 @@ class DataDumper:
             Full-experiment size (e.g. 512 GB) the costs extrapolate to.
         compress_freq_ghz / write_freq_ghz:
             Per-stage pinned frequencies; ``None`` means base clock.
+        governor:
+            Optional :class:`repro.governor.Governor` consulted at each
+            phase boundary for any stage whose explicit frequency is
+            ``None``, and fed the stage's measurement afterwards.
+            Explicit per-stage frequencies win over the governor;
+            resilience DVFS-throttle caps bind it like everything else.
         fault_plan / policy:
             Optional :class:`~repro.resilience.FaultPlan` to inject
             deterministic faults, recovered per *policy* (plan's policy
@@ -184,13 +191,13 @@ class DataDumper:
             return self._dump_traced(
                 compressor, sample_field, error_bound, target_bytes,
                 compress_freq_ghz, write_freq_ghz, tracer,
-                engine, int(snapshot_index),
+                engine, int(snapshot_index), governor,
             )
 
     def _dump_traced(
         self, compressor, sample_field, error_bound, target_bytes,
         compress_freq_ghz, write_freq_ghz, tracer,
-        engine=None, snapshot_index=0,
+        engine=None, snapshot_index=0, governor=None,
     ) -> DumpReport:
         parallel: Optional[ParallelStats] = None
         retried_slabs: Tuple[int, ...] = ()
@@ -227,9 +234,7 @@ class DataDumper:
             flipped_chunks = engine.verify_container(buf, snapshot_index)
 
         cpu = self.node.cpu
-        f_c = cpu.fmax_ghz if compress_freq_ghz is None else compress_freq_ghz
-        f_w = cpu.fmax_ghz if write_freq_ghz is None else write_freq_ghz
-
+        cap_freq = None
         compress_faults = []
         if engine is not None:
             cap = engine.injector.compress_frequency_cap(snapshot_index)
@@ -240,9 +245,18 @@ class DataDumper:
                 compress_faults.append(FaultKind.DVFS_THROTTLE.value)
                 # Clamp to the DVFS floor: a thermal event cannot push
                 # the clock below fmin.
-                f_c = min(f_c, cpu.snap_frequency(
-                    max(cap * cpu.fmax_ghz, cpu.fmin_ghz)
-                ))
+                cap_freq = cpu.snap_frequency(max(cap * cpu.fmax_ghz, cpu.fmin_ghz))
+
+        if governor is not None and compress_freq_ghz is None:
+            f_c = governor.decide("compress", cap_ghz=cap_freq)
+        else:
+            f_c = cpu.fmax_ghz if compress_freq_ghz is None else compress_freq_ghz
+            if cap_freq is not None:
+                f_c = min(f_c, cap_freq)
+        if governor is not None and write_freq_ghz is None:
+            f_w = governor.decide("write")
+        else:
+            f_w = cpu.fmax_ghz if write_freq_ghz is None else write_freq_ghz
 
         wl_c = compression_workload(
             _KIND_BY_CODEC[compressor.name], target_bytes, error_bound,
@@ -273,6 +287,10 @@ class DataDumper:
                 t_c, e_c, retried_slabs, flipped_chunks,
                 tuple(compress_faults), parallel,
             )
+
+        if governor is not None:
+            governor.observe("compress", fc_snapped, e_c / t_c, t_c, target_bytes)
+            governor.observe("write", fw_snapped, e_w / t_w, t_w, compressed_bytes)
 
         registry = get_registry()
         for stage, energy, runtime in (("compress", e_c, t_c), ("write", e_w, t_w)):

@@ -17,9 +17,11 @@ from repro.observability.exporters import (
     prometheus_text,
     span_records,
     spans_to_jsonl,
+    telemetry_to_jsonl,
     trace_summary,
     write_metrics_prom,
     write_spans_jsonl,
+    write_telemetry_jsonl,
 )
 from repro.observability.metrics import (
     DEFAULT_BUCKETS,
@@ -54,6 +56,8 @@ __all__ = [
     "span_records",
     "spans_to_jsonl",
     "write_spans_jsonl",
+    "telemetry_to_jsonl",
+    "write_telemetry_jsonl",
     "prometheus_text",
     "write_metrics_prom",
     "trace_summary",

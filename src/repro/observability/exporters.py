@@ -30,6 +30,8 @@ __all__ = [
     "span_records",
     "spans_to_jsonl",
     "write_spans_jsonl",
+    "telemetry_to_jsonl",
+    "write_telemetry_jsonl",
     "prometheus_text",
     "write_metrics_prom",
     "trace_summary",
@@ -80,6 +82,28 @@ def spans_to_jsonl(spans: Sequence[Span]) -> str:
 def write_spans_jsonl(path: str, spans: Sequence[Span]) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(spans_to_jsonl(spans))
+
+
+# ----------------------------------------------------------------------
+# JSON-lines telemetry dump
+# ----------------------------------------------------------------------
+
+def telemetry_to_jsonl(records: Sequence[Dict[str, object]]) -> str:
+    """One compact JSON object per telemetry sample, publish order.
+
+    Records are the plain dicts a
+    :class:`repro.governor.telemetry.TelemetryBus` emits
+    (``to_records()`` / drained captures); the format matches the span
+    dump so the same tooling consumes both.
+    """
+    return "".join(
+        json.dumps(rec, sort_keys=True, default=str) + "\n" for rec in records
+    )
+
+
+def write_telemetry_jsonl(path: str, records: Sequence[Dict[str, object]]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(telemetry_to_jsonl(records))
 
 
 # ----------------------------------------------------------------------

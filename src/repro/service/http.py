@@ -14,6 +14,7 @@ PUT    /v1/models/<name>           register a bundle JSON (idempotent)
 GET    /v1/models/<name>           latest entry (+``?version=N``)
 POST   /v1/tune                    frequency recommendation (scheduled)
 POST   /v1/decide                  compress-vs-raw break-even (scheduled)
+POST   /v1/govern                  online governor session: observe + decide
 POST   /v1/characterize            async job; 202 + job id
 GET    /v1/jobs/<id>               job state/result
 ====== ========================== =========================================
@@ -199,6 +200,11 @@ class TuningServer:
         self._serve_thread: Optional[threading.Thread] = None
         self._draining = threading.Event()
         self._drained = threading.Event()
+        # Governor sessions (/v1/govern): keyed controllers that learn
+        # across requests. Creation and stepping happen under one lock —
+        # a controller's RNG/trace is not safe under concurrent decide().
+        self._governors: Dict[str, Any] = {}
+        self._governors_lock = threading.Lock()
 
     # -- caching -------------------------------------------------------
 
@@ -229,6 +235,78 @@ class TuningServer:
                 bundle=entry.fingerprint,
             )
         return None
+
+    # -- governor sessions ---------------------------------------------
+
+    def govern(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One step of an online governor session.
+
+        The caller posts observed telemetry samples and gets back the
+        frequencies to pin next, the per-phase convergence state and the
+        currently learned power curve. Sessions are keyed by
+        ``(session, arch, policy, seed, window)``, so independent
+        clients (or replays with a different seed) never share a
+        controller.
+        """
+        from repro.governor import Phase, make_governor
+
+        arch = str(payload.get("arch", "broadwell"))
+        try:
+            from repro.hardware.cpu import get_cpu
+
+            cpu = get_cpu(arch)
+        except KeyError as exc:
+            raise BadRequestError(str(exc.args[0]) if exc.args else str(exc))
+        policy = str(payload.get("policy", "adaptive"))
+        if policy not in ("static", "adaptive"):
+            raise BadRequestError(
+                f"unknown governor policy {policy!r}; the service offers: "
+                "static, adaptive (oracle needs simulation ground truth)"
+            )
+        try:
+            seed = int(payload.get("seed", 0))
+            window = int(payload.get("window", 64))
+        except (TypeError, ValueError):
+            raise BadRequestError("fields 'seed' and 'window' must be integers")
+        samples = payload.get("samples", [])
+        if not isinstance(samples, list):
+            raise BadRequestError("field 'samples' must be a list")
+        session = str(payload.get("session", "default"))
+        key = f"{session}|{cpu.arch}|{policy}|{seed}|{window}"
+
+        with self._governors_lock:
+            governor = self._governors.get(key)
+            if governor is None:
+                try:
+                    governor = make_governor(policy, cpu, seed=seed, window=window)
+                except ValueError as exc:
+                    raise BadRequestError(str(exc))
+                self._governors[key] = governor
+            for i, sample in enumerate(samples):
+                if not isinstance(sample, dict):
+                    raise BadRequestError(f"sample {i} must be an object")
+                try:
+                    governor.observe(
+                        sample["phase"],
+                        float(sample["freq_ghz"]),
+                        float(sample["power_w"]),
+                        float(sample["runtime_s"]),
+                        int(sample.get("bytes_processed", 0)),
+                    )
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise BadRequestError(f"invalid telemetry sample {i}: {exc}")
+            phases = (Phase.COMPRESS, Phase.WRITE)
+            frequencies = {p.value: governor.decide(p) for p in phases}
+            fitted = getattr(governor, "fitted", lambda p: None)
+            return {
+                "session": session,
+                "arch": cpu.arch,
+                "policy": policy,
+                "frequencies": frequencies,
+                "converged": {p.value: governor.is_converged(p) for p in phases},
+                "curves": {p.value: fitted(p) for p in phases},
+                "samples_seen": governor.telemetry.published,
+            }
 
     # -- addressing ----------------------------------------------------
 
@@ -358,6 +436,11 @@ class TuningServer:
                 kind = path.rsplit("/", 1)[1]
                 result = self.scheduler.perform(kind, payload, deadline_s)
                 http._send_json(200, result)
+                return
+            if path == "/v1/govern":
+                if self.draining:
+                    raise ServiceClosedError("draining; not accepting requests")
+                http._send_json(200, self.govern(http._read_body()))
                 return
             if path == "/v1/characterize":
                 payload = http._read_body()

@@ -12,7 +12,7 @@ not.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import partial
 from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
@@ -29,6 +29,7 @@ from repro.parallel import Executor, resolve_executor
 from repro.utils.validation import check_nonnegative, check_positive
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.governor import GovernorReport, GovernorSpec
     from repro.resilience.faults import FaultPlan
     from repro.resilience.policies import RecoveryPolicy
 
@@ -66,6 +67,9 @@ class CampaignReport:
     snapshots: Tuple[DumpReport, ...]
     compute_time_s: float
     compute_energy_j: float
+    #: Decision summary when the campaign ran under a governor; ``None``
+    #: for explicitly pinned (or base-clock) runs.
+    governor: Optional["GovernorReport"] = None
 
     @property
     def io_energy_j(self) -> float:
@@ -134,6 +138,7 @@ def run_campaign(
     workers: Optional[int] = None,
     fault_plan: Optional["FaultPlan"] = None,
     policy: Optional["RecoveryPolicy"] = None,
+    governor=None,
 ) -> CampaignReport:
     """Play the campaign through the dump pipeline.
 
@@ -144,7 +149,14 @@ def run_campaign(
     pick the backend), so traces show the chunk/slab stages. A
     *fault_plan* injects its faults per snapshot index; retries,
     failovers and losses land on the report's resilience properties.
+    A *governor* (a :class:`repro.governor.Governor`, spec or policy
+    name) steers any stage without an explicit frequency, learning
+    across snapshots; its decision summary lands on
+    :attr:`CampaignReport.governor`.
     """
+    from repro.governor import resolve_governor
+
+    governor = resolve_governor(governor, node.cpu, power_curve=node.power_curve)
     dumper = DataDumper(
         node, nfs, repeats=repeats,
         chunk_bytes=chunk_bytes, executor=executor, workers=workers,
@@ -169,6 +181,7 @@ def run_campaign(
                     fault_plan=fault_plan,
                     policy=policy,
                     snapshot_index=index,
+                    governor=governor,
                 )
                 sp.set(
                     ratio=report.compression_ratio,
@@ -190,6 +203,7 @@ def run_campaign(
         snapshots=tuple(snapshots),
         compute_time_s=compute_time,
         compute_energy_j=compute_energy,
+        governor=governor.report() if governor is not None else None,
     )
 
 
@@ -200,9 +214,20 @@ class CampaignPoint:
     error_bound: float
     compress_freq_ghz: Optional[float] = None
     write_freq_ghz: Optional[float] = None
+    #: Per-point governor spec; mutually exclusive with pinned clocks
+    #: (a pinned stage ignores the governor by construction, so mixing
+    #: them would silently half-apply the policy).
+    governor: Optional["GovernorSpec"] = None
 
     def __post_init__(self):
         check_positive(self.error_bound, "error_bound")
+        if self.governor is not None and (
+            self.compress_freq_ghz is not None or self.write_freq_ghz is not None
+        ):
+            raise ValueError(
+                "a CampaignPoint cannot pin stage frequencies and carry a "
+                "governor at the same time"
+            )
 
 
 def _run_campaign_point(
@@ -235,6 +260,7 @@ def _run_campaign_point(
         repeats=repeats,
         chunk_bytes=chunk_bytes,
         fault_plan=fault_plan,
+        governor=point.governor,
     )
 
 
@@ -251,6 +277,7 @@ def run_campaign_sweep(
     workers: Optional[int] = None,
     fault_plan: Optional["FaultPlan"] = None,
     chunk_bytes: Optional[int] = None,
+    governor: "GovernorSpec | str | None" = None,
 ) -> Tuple[CampaignReport, ...]:
     """Play the campaign at every sweep point, points in parallel.
 
@@ -263,6 +290,11 @@ def run_campaign_sweep(
     codec work dominates the fork cost. *chunk_bytes* shards each
     snapshot's ratio measurement (and joins the cache key, since it
     shapes the reports' parallel-stage annotations).
+
+    *governor* (a :class:`repro.governor.GovernorSpec` or policy name)
+    is the sweep-wide default: it fills every point that neither pins a
+    stage frequency nor carries its own spec, *before* cache keys are
+    computed — governed and ungoverned sweeps can never alias.
     """
     if not points:
         raise ValueError("points must be non-empty")
@@ -270,6 +302,27 @@ def run_campaign_sweep(
         p if isinstance(p, CampaignPoint) else CampaignPoint(error_bound=float(p))
         for p in points
     )
+    if governor is not None:
+        from repro.governor import GovernorSpec
+
+        spec = (
+            GovernorSpec(kind=governor) if isinstance(governor, str) else governor
+        )
+        if not isinstance(spec, GovernorSpec):
+            raise ValueError(
+                "sweep governor must be a GovernorSpec or policy name, "
+                f"got {type(governor).__name__}"
+            )
+        resolved = tuple(
+            replace(p, governor=spec)
+            if (
+                p.governor is None
+                and p.compress_freq_ghz is None
+                and p.write_freq_ghz is None
+            )
+            else p
+            for p in resolved
+        )
     codec_name = compressor if isinstance(compressor, str) else compressor.name
     get_compressor(codec_name)  # fail fast on unknown codecs
 

@@ -110,6 +110,65 @@ class TestConflictingExecutorFlags:
         assert "conflicts" in capsys.readouterr().err
 
 
+class TestGovernSubcommand:
+    GOVERN_ARGS = ["govern", "--snapshots", "1", "--snapshot-gb", "1",
+                   "--scale", "32"]
+
+    def test_unknown_policy_is_an_error(self, capsys):
+        # --governor deliberately has no argparse choices: the governor
+        # registry owns the policy set and its error names the options.
+        args = self.GOVERN_ARGS + ["--governor", "quantum"]
+        assert main(args) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "unknown governor policy" in err
+        assert "adaptive" in err
+
+    @pytest.mark.parametrize("window", ["-5", "0", "3"])
+    def test_too_small_window_is_an_error(self, capsys, window):
+        args = self.GOVERN_ARGS + ["--window", window]
+        assert main(args) == 1
+        assert "window must be >= 4" in capsys.readouterr().err
+
+    def test_adaptive_conflicts_with_throttle_plan(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({
+            "faults": [{"kind": "dvfs-throttle", "probability": 1.0,
+                        "severity": 0.5}],
+        }))
+        args = self.GOVERN_ARGS + ["--governor", "adaptive",
+                                   "--fault-plan", str(plan)]
+        assert main(args) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "dvfs-throttle" in err
+
+    def test_static_tolerates_throttle_plan(self, tmp_path, capsys):
+        # Only the adaptive governor races a throttle for the knob; the
+        # static policy under a throttle is a legitimate experiment.
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({
+            "faults": [{"kind": "dvfs-throttle", "probability": 1.0,
+                        "severity": 0.5}],
+        }))
+        args = self.GOVERN_ARGS + ["--governor", "static",
+                                   "--fault-plan", str(plan)]
+        assert main(args) == 0
+        assert "static governor" in capsys.readouterr().out
+
+    def test_campaign_adaptive_conflicts_with_throttle_plan(
+            self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({
+            "faults": [{"kind": "dvfs-throttle", "probability": 1.0,
+                        "severity": 0.5}],
+        }))
+        args = CAMPAIGN_ARGS + ["--governor", "adaptive",
+                                "--fault-plan", str(plan)]
+        assert main(args) == 1
+        assert "dvfs-throttle" in capsys.readouterr().err
+
+
 class TestCacheSubcommandPaths:
     def test_stats_on_missing_dir_reports_empty_store(self, tmp_path, capsys):
         missing = tmp_path / "never-created"

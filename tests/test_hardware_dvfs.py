@@ -33,6 +33,26 @@ class TestCpufreqSet:
         # State unchanged after a failed set.
         assert scaler.current_ghz == 2.0
 
+    def test_nan_is_rejected(self, scaler):
+        # Regression: NaN compares false against every grid bound, so
+        # snapping used to pin an arbitrary frequency instead of failing.
+        with pytest.raises(FrequencyError, match="finite"):
+            scaler.cpufreq_set(float("nan"))
+        assert scaler.current_ghz == 2.0
+        assert scaler.governor is Governor.PERFORMANCE
+
+    @pytest.mark.parametrize("bad", [float("inf"), float("-inf")])
+    def test_infinities_are_rejected(self, scaler, bad):
+        with pytest.raises(FrequencyError, match="finite"):
+            scaler.cpufreq_set(bad)
+        assert scaler.current_ghz == 2.0
+
+    @pytest.mark.parametrize("bad", ["1.5", None, [1.5]])
+    def test_non_numeric_is_rejected(self, scaler, bad):
+        with pytest.raises(FrequencyError, match="finite"):
+            scaler.cpufreq_set(bad)
+        assert scaler.current_ghz == 2.0
+
 
 class TestGovernors:
     def test_powersave_pins_fmin(self, scaler):
