@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Power-cap efficiency benchmark: water-filling vs uniform vs proportional.
+
+Splits a fleet-wide watt budget across a heterogeneous simulated fleet
+(per-node work weights spread 1x-2.5x) with each allocation policy and
+compares the modeled synchronized-phase makespan, sweeping the budget
+from "barely floats one node" to "everyone at fmax".
+
+The water-filling argmin is exact over the discrete DVFS grid (it
+reaches ``T* = min {T : sum_i cost_i(T) <= budget}``), so it must be at
+least as good as uniform at *every* budget — that is the gate:
+
+* every (budget, phase) cell: waterfill makespan <= uniform makespan
+  (plus ``--tolerance`` slack for float noise, default 1e-9);
+* every cell: caps sum to at most the node budget.
+
+Exit 1 with ``FAILED`` on stderr when a gate trips.
+
+CI usage (see the ``powercap`` job in ``.github/workflows/ci.yml``)::
+
+    PYTHONPATH=src python benchmarks/powercap_efficiency.py --smoke
+
+Refresh the committed artifact with::
+
+    PYTHONPATH=src python benchmarks/powercap_efficiency.py \
+        --output benchmarks/BENCH_powercap.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.hardware.cpu import BROADWELL_D1548
+from repro.hardware.powercurves import CalibratedPowerCurve
+from repro.powercap import (
+    ALLOCATION_POLICIES,
+    allocate_budget,
+    allocation_makespan,
+    node_power_model,
+)
+
+CPU = BROADWELL_D1548
+CURVE = CalibratedPowerCurve()
+PHASES = ("compress", "write")
+
+
+def make_fleet(n_nodes: int, phase: str):
+    """Heterogeneous fleet: work weights spread linearly 1x..2.5x."""
+    return [
+        node_power_model(
+            f"node{i:03d}", CPU, CURVE, phase=phase,
+            work=1.0 + 1.5 * i / max(1, n_nodes - 1),
+        )
+        for i in range(n_nodes)
+    ]
+
+
+def budget_grid(fleet, steps: int):
+    """From one floor draw to the whole fleet at fmax."""
+    lo = min(m.min_power for m in fleet)
+    hi = sum(m.max_power for m in fleet)
+    return [lo + (hi - lo) * k / (steps - 1) for k in range(steps)]
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--nodes", type=int, default=8,
+                    help="fleet size")
+    ap.add_argument("--steps", type=int, default=9,
+                    help="budgets per phase, spanning floor..full-fleet")
+    ap.add_argument("--tolerance", type=float, default=1e-9,
+                    help="allowed waterfill-over-uniform makespan slack")
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI mode: smaller fleet, fewer budgets")
+    ap.add_argument("--output", default=None, metavar="PATH",
+                    help="write the result table as JSON here")
+    args = ap.parse_args(argv)
+    if args.smoke:
+        args.nodes, args.steps = 6, 7
+
+    results: dict = {"cpu": CPU.arch, "nodes": args.nodes,
+                     "steps": args.steps, "phases": {}}
+    failures = []
+    for phase in PHASES:
+        fleet = make_fleet(args.nodes, phase)
+        cells = []
+        print(f"\n{phase} phase ({args.nodes} nodes, work 1x-2.5x):")
+        for budget in budget_grid(fleet, args.steps):
+            row: dict = {"budget_w": round(budget, 3)}
+            for policy in ALLOCATION_POLICIES:
+                caps = allocate_budget(policy, fleet, budget)
+                spent = sum(caps.values())
+                makespan = allocation_makespan(fleet, caps)
+                row[policy] = {"makespan_s": round(makespan, 6),
+                               "spent_w": round(spent, 3)}
+                if spent > budget + 1e-6:
+                    failures.append(
+                        f"{phase} @ {budget:.1f} W: {policy} spends "
+                        f"{spent:.2f} W over budget")
+            cells.append(row)
+            wf = row["waterfill"]["makespan_s"]
+            uni = row["uniform"]["makespan_s"]
+            prop = row["proportional"]["makespan_s"]
+            print(f"  {budget:8.1f} W: waterfill {wf:8.3f} s  "
+                  f"uniform {uni:8.3f} s  proportional {prop:8.3f} s")
+            if wf > uni + args.tolerance:
+                failures.append(
+                    f"{phase} @ {budget:.1f} W: waterfill makespan "
+                    f"{wf:.6f} s above uniform {uni:.6f} s")
+        results["phases"][phase] = cells
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nresults written to {args.output}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("\nOK: water-filling dominates uniform at every tested budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

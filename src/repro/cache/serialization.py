@@ -45,8 +45,10 @@ def _ensure_registered() -> None:
     from repro.hardware.node import Measurement
     from repro.hardware.perf import PowerSample
     from repro.hardware.workload import Workload, WorkloadKind
+    from repro.iosim.cluster import ClusterDumpReport
     from repro.iosim.dumper import DumpReport, StageReport
     from repro.iosim.nfs import NfsTarget
+    from repro.powercap.controller import PowercapReport
     from repro.parallel.instrumentation import ParallelStats, TaskStat
     from repro.resilience.faults import FaultKind, FaultPlan, FaultSpec
     from repro.resilience.report import AttemptRecord, SnapshotResilience
@@ -61,7 +63,8 @@ def _ensure_registered() -> None:
     for cls in (
         GoodnessOfFit, PowerModel, RuntimeModel, TuningRecommendation,
         CpuSpec, Measurement, PowerSample, Workload, NfsTarget,
-        StageReport, DumpReport, TaskStat, ParallelStats,
+        StageReport, DumpReport, ClusterDumpReport, PowercapReport,
+        TaskStat, ParallelStats,
         AttemptRecord, SnapshotResilience, FaultSpec, FaultPlan,
         CampaignPoint, CampaignReport, CheckpointCampaign, SweepConfig,
         GovernorReport, GovernorSpec,

@@ -227,6 +227,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=int, default=16)
     p.add_argument("--chunk-mb", type=float, default=None,
                    help="shard the ratio measurement into slabs of this size")
+    p.add_argument("--power-budget-w", type=float, default=None,
+                   help="node package watt budget; each phase's frequency is "
+                        "capped by inverting the node's P(f) curve")
     _add_executor_args(p)
     _add_governor_args(p)
     _add_fault_args(p)
@@ -295,6 +298,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunk-mb", type=float, default=None,
                    help="shard each snapshot's ratio measurement into slabs "
                         "of this size (traces then show chunk/slab stages)")
+    p.add_argument("--power-budget-w", type=float, default=None,
+                   help="per-node package watt budget applied to every sweep "
+                        "point (base and tuned alike)")
     _add_executor_args(p)
     _add_governor_args(p)
     _add_fault_args(p)
@@ -357,6 +363,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--per-node-gb", type=float, default=64.0)
     p.add_argument("--error-bound", type=float, default=1e-2)
     p.add_argument("--scale", type=int, default=16)
+    _add_observability_args(p)
+
+    p = sub.add_parser("powercap",
+                       help="split a fleet watt budget across a simulated "
+                            "cluster (see docs/POWERCAP.md)")
+    p.add_argument("--budget-w", type=float, required=True,
+                   help="fleet-wide power budget, NFS reserve included")
+    p.add_argument("--arch", default="broadwell")
+    p.add_argument("--nodes", type=int, default=8)
+    p.add_argument("--policy", default="waterfill",
+                   choices=("uniform", "proportional", "waterfill"))
+    p.add_argument("--nfs-reserve-w", type=float, default=None,
+                   help="watts held back for the shared NFS server "
+                        "(default 40)")
+    p.add_argument("--per-node-gb", type=float, default=64.0)
+    p.add_argument("--error-bound", type=float, default=1e-2)
+    p.add_argument("--scale", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
     _add_observability_args(p)
 
     return parser
@@ -569,8 +593,16 @@ def _cmd_dump(args) -> int:
     target = int(args.target_gb * 1e9)
     plan = _load_fault_plan(args)
     _check_governor_plan(args.governor, plan)
+    phase_caps = None
+    if args.power_budget_w is not None:
+        from repro.powercap import phase_caps_for_budget
 
-    base = dumper.dump(codec, arr, args.error_bound, target, fault_plan=plan)
+        phase_caps = phase_caps_for_budget(
+            cpu, node.power_curve, args.power_budget_w, codec=args.codec
+        )
+
+    base = dumper.dump(codec, arr, args.error_bound, target, fault_plan=plan,
+                       phase_caps=phase_caps)
     if args.governor is not None:
         from repro.governor import make_governor
 
@@ -581,7 +613,7 @@ def _cmd_dump(args) -> int:
         )
         tuned = dumper.dump(
             codec, arr, args.error_bound, target,
-            governor=governor, fault_plan=plan,
+            governor=governor, fault_plan=plan, phase_caps=phase_caps,
         )
         tuned_label = f"{args.governor} gov."
     else:
@@ -589,12 +621,18 @@ def _cmd_dump(args) -> int:
             codec, arr, args.error_bound, target,
             compress_freq_ghz=PAPER_POLICY.frequency_for(cpu, WorkloadKind.COMPRESS_SZ),
             write_freq_ghz=PAPER_POLICY.frequency_for(cpu, WorkloadKind.WRITE),
-            fault_plan=plan,
+            fault_plan=plan, phase_caps=phase_caps,
         )
         tuned_label = "Eqn. 3"
     saved = base.total_energy_j - tuned.total_energy_j
     print(f"{args.target_gb:g} GB {args.codec} dump on {args.arch} "
           f"(eb {args.error_bound:g}, ratio {base.compression_ratio:.2f}x):")
+    if phase_caps is not None:
+        caps = ", ".join(
+            f"{phase} <= {ghz:.2f} GHz" if ghz > 0 else f"{phase} infeasible"
+            for phase, ghz in sorted(phase_caps.items())
+        )
+        print(f"  power cap  : {args.power_budget_w:g} W -> {caps}")
     print(f"  base clock : {base.total_energy_j / 1e3:8.2f} kJ "
           f"in {base.total_runtime_s:8.1f} s")
     print(f"  {tuned_label:<11s}: {tuned.total_energy_j / 1e3:8.2f} kJ "
@@ -755,10 +793,12 @@ def _cmd_campaign(args) -> int:
         (CampaignPoint(error_bound=args.error_bound), tuned_point),
         campaign,
         chunk_bytes=chunk_bytes, executor=args.executor, workers=args.workers,
-        fault_plan=plan,
+        fault_plan=plan, power_budget_w=args.power_budget_w,
     )
     print(f"{args.snapshots} snapshots x {args.snapshot_gb:g} GB on {args.arch} "
           f"(eb {args.error_bound:g}):")
+    if args.power_budget_w is not None:
+        print(f"  power budget           : {args.power_budget_w:g} W per node")
     print(f"  I/O share of wall time : {base.io_time_fraction:.1%}")
     print(f"  I/O energy, base clock : {base.io_energy_j / 1e3:8.1f} kJ")
     print(f"  I/O energy, {tuned_label:<11s}: {tuned.io_energy_j / 1e3:8.1f} kJ "
@@ -936,6 +976,47 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _cmd_powercap(args) -> int:
+    from repro.compressors import SZCompressor
+    from repro.data.registry import load_field
+    from repro.hardware.cpu import get_cpu
+    from repro.iosim.cluster import Cluster, SimulatedCluster
+
+    cpu = get_cpu(args.arch)
+    arr = load_field("nyx", "velocity_x", scale=args.scale)
+    per_node = int(args.per_node_gb * 1e9)
+
+    uncapped = Cluster(cpu, n_nodes=args.nodes, seed=args.seed, repeats=3)
+    base = uncapped.dump_all(SZCompressor(), arr, args.error_bound, per_node)
+    capped_cluster = SimulatedCluster(
+        cpu, n_nodes=args.nodes, seed=args.seed, repeats=3,
+        power_budget_w=args.budget_w, policy=args.policy,
+        nfs_reserve_w=args.nfs_reserve_w,
+    )
+    capped = capped_cluster.dump_all(
+        SZCompressor(), arr, args.error_bound, per_node
+    )
+    rep = capped.powercap
+
+    print(f"{args.nodes}-node fleet on {args.arch} under a "
+          f"{args.budget_w:g} W budget ({rep.policy} policy, "
+          f"NFS reserve {rep.nfs_reserve_w:g} W):")
+    infeasible = set(rep.infeasible)
+    for node_id, cap_w, cap_ghz in rep.caps:
+        note = "  [below DVFS floor]" if node_id in infeasible else ""
+        print(f"  {node_id}: {cap_w:6.1f} W -> {cap_ghz:.2f} GHz{note}")
+    delta_e = capped.total_energy_j / base.total_energy_j - 1
+    stretch = capped.makespan_s / base.makespan_s - 1
+    print(f"  uncapped: {base.total_energy_j / 1e3:8.1f} kJ, "
+          f"makespan {base.makespan_s:7.0f} s")
+    print(f"  capped  : {capped.total_energy_j / 1e3:8.1f} kJ "
+          f"({delta_e:+.1%}), makespan {capped.makespan_s:7.0f} s "
+          f"({stretch:+.1%})")
+    print(f"  epochs  : {rep.epochs} allocation epochs, "
+          f"trace receipt {rep.trace_sha256[:12]}")
+    return 0
+
+
 def _cmd_workers(args) -> int:
     import subprocess
 
@@ -983,6 +1064,7 @@ _HANDLERS = {
     "advise": _cmd_advise,
     "campaign": _cmd_campaign,
     "cluster": _cmd_cluster,
+    "powercap": _cmd_powercap,
     "serve": _cmd_serve,
     "cache": _cmd_cache,
     "workers": _cmd_workers,

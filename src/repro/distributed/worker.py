@@ -66,6 +66,27 @@ class WorkerSession:
             except OSError:
                 return  # connection is gone; the main loop will notice
 
+    @staticmethod
+    def _apply_powercap(msg: dict) -> None:
+        """Store the coordinator's cap frame in the process-global slot.
+
+        Observational only: shard results are a pure function of the
+        shard inputs, so applying (or dropping) a cap frame can never
+        change what this worker computes — stale-epoch frames are
+        ignored by :func:`repro.powercap.runtime.set_node_cap`.
+        """
+        from repro.powercap.runtime import set_node_cap
+
+        try:
+            set_node_cap(
+                msg.get("cap_w"),
+                msg.get("cap_ghz"),
+                int(msg.get("epoch", 0)),
+                node_id=msg.get("node_id"),
+            )
+        except (TypeError, ValueError):
+            pass  # malformed frame from a newer coordinator; ignore
+
     # -- task execution ------------------------------------------------
 
     def _resolve_fn(self, msg: dict):
@@ -152,6 +173,8 @@ class WorkerSession:
                     return 0
                 if msg.get("type") == "task":
                     self._run_task(msg)
+                elif msg.get("type") == "powercap":
+                    self._apply_powercap(msg)
                 # Unknown message types are ignored: a newer coordinator
                 # may speak a superset of this protocol.
         finally:

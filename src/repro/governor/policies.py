@@ -167,6 +167,7 @@ class Governor(abc.ABC):
         from repro.observability import get_registry, get_tracer
 
         phase = _as_phase(phase)
+        infeasible_cap = cap_ghz is not None and cap_ghz < self.cpu.fmin_ghz
         with get_tracer().span("governor.decide", phase=phase.value) as sp:
             freq, mode = self._decide(phase)
             freq = min(max(freq, self.cpu.fmin_ghz), self.cpu.fmax_ghz)
@@ -175,6 +176,8 @@ class Governor(abc.ABC):
                 mode = f"{mode}+capped"
             freq = self.cpu.snap_frequency(freq)
             sp.set(freq_ghz=freq, mode=mode)
+            if infeasible_cap:
+                sp.set(capped_below_fmin=True)
         entry = {
             "step": self._step,
             "phase": phase.value,
@@ -182,6 +185,16 @@ class Governor(abc.ABC):
             "mode": mode,
             "converged": self.is_converged(phase),
         }
+        if infeasible_cap:
+            # The cap asked for less than the DVFS floor can deliver; we
+            # pin fmin, but make the infeasibility observable instead of
+            # silently under-delivering on the watt budget.
+            entry["capped_below_fmin"] = True
+            get_registry().counter(
+                "repro_governor_infeasible_caps_total",
+                {"phase": phase.value, "policy": self.name},
+                help="decide() calls whose cap_ghz lay below the DVFS floor",
+            ).inc()
         self.trace.append(entry)
         self._step += 1
         if self._last_freq.get(phase) != freq:

@@ -20,6 +20,7 @@ keeping curves deterministic and unit-testable.
 from __future__ import annotations
 
 import abc
+import math
 from typing import Dict, Tuple
 
 import numpy as np
@@ -103,6 +104,43 @@ class PowerCurve(abc.ABC):
         return self.power_watts(cpu, freq_ghz, kind) / self.power_watts(
             cpu, cpu.fmax_ghz, kind
         )
+
+    def frequency_for_power(
+        self,
+        cpu: CpuSpec,
+        watts: float,
+        kind: WorkloadKind,
+        dynamic_factor: float = 1.0,
+    ) -> float:
+        """Invert P(f): the highest frequency whose power fits under *watts*.
+
+        The answer is clamped to ``[fmin_ghz, fmax_ghz]``: a watt cap
+        below ``P(fmin)`` still returns ``fmin`` (DVFS cannot go lower —
+        the governor layer is responsible for flagging the cap as
+        infeasible), and a cap above ``P(fmax)`` returns ``fmax``.
+        Solved by bisection, so it works for any monotone curve, fitted
+        or first-principles.
+        """
+        try:
+            finite = math.isfinite(watts)
+        except TypeError:
+            finite = False
+        if not finite:
+            raise ValueError(f"watts must be a finite number, got {watts!r}")
+        if watts <= 0:
+            raise ValueError(f"watts must be positive, got {watts!r}")
+        if watts <= self.power_watts(cpu, cpu.fmin_ghz, kind, dynamic_factor):
+            return cpu.fmin_ghz
+        if watts >= self.power_watts(cpu, cpu.fmax_ghz, kind, dynamic_factor):
+            return cpu.fmax_ghz
+        lo, hi = cpu.fmin_ghz, cpu.fmax_ghz
+        for _ in range(64):
+            mid = 0.5 * (lo + hi)
+            if self.power_watts(cpu, mid, kind, dynamic_factor) <= watts:
+                lo = mid
+            else:
+                hi = mid
+        return lo
 
 
 def _family(kind: WorkloadKind) -> str:

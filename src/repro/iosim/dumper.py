@@ -16,7 +16,7 @@ tracked alongside the energy numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Optional, Tuple
+from typing import TYPE_CHECKING, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -141,6 +141,7 @@ class DataDumper:
         policy: Optional["RecoveryPolicy"] = None,
         snapshot_index: int = 0,
         governor=None,
+        phase_caps: Optional[Mapping[str, float]] = None,
     ) -> DumpReport:
         """Compress *target_bytes* worth of data (character taken from
         *sample_field*) and write the result to the NFS.
@@ -170,6 +171,13 @@ class DataDumper:
         snapshot_index:
             Logical snapshot coordinate for fault triggering (campaigns
             pass their loop index so each snapshot draws its own faults).
+        phase_caps:
+            Optional ``{"compress": ghz, "write": ghz}`` frequency
+            ceilings from a watt budget (see
+            :func:`repro.powercap.phase_caps_for_budget`). A value of
+            ``0.0`` marks an infeasible budget: the stage pins fmin and
+            a governor records ``capped_below_fmin``. ``None`` takes
+            the exact uncapped code path.
         """
         check_positive(target_bytes, "target_bytes")
         if compressor.name not in _KIND_BY_CODEC:
@@ -191,13 +199,13 @@ class DataDumper:
             return self._dump_traced(
                 compressor, sample_field, error_bound, target_bytes,
                 compress_freq_ghz, write_freq_ghz, tracer,
-                engine, int(snapshot_index), governor,
+                engine, int(snapshot_index), governor, phase_caps,
             )
 
     def _dump_traced(
         self, compressor, sample_field, error_bound, target_bytes,
         compress_freq_ghz, write_freq_ghz, tracer,
-        engine=None, snapshot_index=0, governor=None,
+        engine=None, snapshot_index=0, governor=None, phase_caps=None,
     ) -> DumpReport:
         parallel: Optional[ParallelStats] = None
         retried_slabs: Tuple[int, ...] = ()
@@ -247,16 +255,29 @@ class DataDumper:
                 # the clock below fmin.
                 cap_freq = cpu.snap_frequency(max(cap * cpu.fmax_ghz, cpu.fmin_ghz))
 
+        # A watt-budget phase cap merges with any thermal cap (the
+        # tighter one binds). Budget caps may be 0.0 — "infeasible" —
+        # which a governor tags capped_below_fmin; pinned paths clamp
+        # back to the DVFS floor since the clock cannot go lower.
+        budget_cap_c = None if phase_caps is None else phase_caps.get("compress")
+        budget_cap_w = None if phase_caps is None else phase_caps.get("write")
+        if budget_cap_c is not None:
+            cap_freq = (
+                budget_cap_c if cap_freq is None else min(cap_freq, budget_cap_c)
+            )
+
         if governor is not None and compress_freq_ghz is None:
             f_c = governor.decide("compress", cap_ghz=cap_freq)
         else:
             f_c = cpu.fmax_ghz if compress_freq_ghz is None else compress_freq_ghz
             if cap_freq is not None:
-                f_c = min(f_c, cap_freq)
+                f_c = min(f_c, max(cap_freq, cpu.fmin_ghz))
         if governor is not None and write_freq_ghz is None:
-            f_w = governor.decide("write")
+            f_w = governor.decide("write", cap_ghz=budget_cap_w)
         else:
             f_w = cpu.fmax_ghz if write_freq_ghz is None else write_freq_ghz
+            if budget_cap_w is not None:
+                f_w = min(f_w, max(budget_cap_w, cpu.fmin_ghz))
 
         wl_c = compression_workload(
             _KIND_BY_CODEC[compressor.name], target_bytes, error_bound,

@@ -15,6 +15,7 @@ GET    /v1/models/<name>           latest entry (+``?version=N``)
 POST   /v1/tune                    frequency recommendation (scheduled)
 POST   /v1/decide                  compress-vs-raw break-even (scheduled)
 POST   /v1/govern                  online governor session: observe + decide
+POST   /v1/powercap                cluster power-cap session: join/leave + caps
 POST   /v1/characterize            async job; 202 + job id
 GET    /v1/jobs/<id>               job state/result
 ====== ========================== =========================================
@@ -205,6 +206,11 @@ class TuningServer:
         # a controller's RNG/trace is not safe under concurrent decide().
         self._governors: Dict[str, Any] = {}
         self._governors_lock = threading.Lock()
+        # Power-cap sessions (/v1/powercap): keyed ClusterCapControllers
+        # whose fleet membership, demand and trace persist across
+        # requests. Same single-lock discipline as governor sessions.
+        self._powercaps: Dict[str, Any] = {}
+        self._powercaps_lock = threading.Lock()
 
     # -- caching -------------------------------------------------------
 
@@ -306,6 +312,127 @@ class TuningServer:
                 "converged": {p.value: governor.is_converged(p) for p in phases},
                 "curves": {p.value: fitted(p) for p in phases},
                 "samples_seen": governor.telemetry.published,
+            }
+
+    # -- power-cap sessions ---------------------------------------------
+
+    def powercap(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One step of a cluster power-cap session.
+
+        The caller posts fleet membership changes (``nodes`` to join,
+        ``leave`` to drop), optional per-node watt ``demands`` and an
+        optional ``phase``; the response carries every node's current
+        watt cap and ``cap_ghz`` ceiling (to feed
+        ``Governor.decide(cap_ghz=...)``), the modeled makespan and the
+        sha256 trace receipt. Sessions are keyed by
+        ``(session, policy, budget_w, nfs_reserve_w)`` so independent
+        fleets never share a controller.
+        """
+        from repro.hardware.cpu import get_cpu
+        from repro.hardware.powercurves import CalibratedPowerCurve
+        from repro.powercap import ALLOCATION_POLICIES, ClusterCapController
+
+        try:
+            budget_w = float(payload["budget_w"])
+        except KeyError:
+            raise BadRequestError("field 'budget_w' is required")
+        except (TypeError, ValueError):
+            raise BadRequestError("field 'budget_w' must be a number")
+        policy = str(payload.get("policy", "waterfill"))
+        if policy not in ALLOCATION_POLICIES:
+            raise BadRequestError(
+                f"unknown allocation policy {policy!r}; the service offers: "
+                + ", ".join(ALLOCATION_POLICIES)
+            )
+        try:
+            nfs_reserve_w = float(payload.get("nfs_reserve_w", 40.0))
+        except (TypeError, ValueError):
+            raise BadRequestError("field 'nfs_reserve_w' must be a number")
+        nodes = payload.get("nodes", [])
+        if not isinstance(nodes, list):
+            raise BadRequestError("field 'nodes' must be a list")
+        leave = payload.get("leave", [])
+        if not isinstance(leave, list):
+            raise BadRequestError("field 'leave' must be a list")
+        demands = payload.get("demands", {})
+        if not isinstance(demands, dict):
+            raise BadRequestError("field 'demands' must be an object")
+        session = str(payload.get("session", "default"))
+        key = f"{session}|{policy}|{budget_w:g}|{nfs_reserve_w:g}"
+
+        with self._powercaps_lock:
+            controller = self._powercaps.get(key)
+            if controller is None:
+                try:
+                    controller = ClusterCapController(
+                        budget_w, policy=policy, nfs_reserve_w=nfs_reserve_w
+                    )
+                except ValueError as exc:
+                    raise BadRequestError(str(exc))
+                self._powercaps[key] = controller
+            for i, node in enumerate(nodes):
+                if not isinstance(node, dict) or "id" not in node:
+                    raise BadRequestError(
+                        f"node {i} must be an object with an 'id' field"
+                    )
+                arch = str(node.get("arch", "broadwell"))
+                try:
+                    cpu = get_cpu(arch)
+                except KeyError as exc:
+                    raise BadRequestError(
+                        str(exc.args[0]) if exc.args else str(exc)
+                    )
+                try:
+                    work = float(node.get("work", 1.0))
+                    controller.join(
+                        str(node["id"]), cpu, CalibratedPowerCurve(), work=work
+                    )
+                except (TypeError, ValueError) as exc:
+                    raise BadRequestError(f"invalid node {i}: {exc}")
+            for node_id in leave:
+                try:
+                    controller.leave(str(node_id))
+                except KeyError as exc:
+                    raise BadRequestError(str(exc.args[0]))
+            for node_id, watts in demands.items():
+                try:
+                    controller.record_demand(str(node_id), float(watts))
+                except KeyError as exc:
+                    raise BadRequestError(str(exc.args[0]))
+                except (TypeError, ValueError) as exc:
+                    raise BadRequestError(
+                        f"invalid demand for {node_id!r}: {exc}"
+                    )
+            if not controller.node_ids():
+                raise BadRequestError(
+                    "session has no nodes; post at least one in 'nodes'"
+                )
+            phase = payload.get("phase")
+            if phase is not None:
+                try:
+                    controller.begin_phase(str(phase))
+                except ValueError as exc:
+                    raise BadRequestError(str(exc))
+            if demands or payload.get("reallocate"):
+                controller.reallocate("request")
+            report = controller.report()
+            return {
+                "session": session,
+                "policy": policy,
+                "budget_w": controller.budget_w,
+                "nfs_reserve_w": controller.nfs_reserve_w,
+                "phase": controller.phase,
+                "epoch": controller.epoch,
+                "caps": {
+                    node_id: {
+                        "cap_w": cap.cap_w,
+                        "cap_ghz": cap.cap_ghz,
+                        "infeasible": cap.infeasible,
+                    }
+                    for node_id, cap in sorted(controller.caps().items())
+                },
+                "makespan": controller.last_makespan,
+                "trace_sha256": report.trace_sha256,
             }
 
     # -- addressing ----------------------------------------------------
@@ -441,6 +568,11 @@ class TuningServer:
                 if self.draining:
                     raise ServiceClosedError("draining; not accepting requests")
                 http._send_json(200, self.govern(http._read_body()))
+                return
+            if path == "/v1/powercap":
+                if self.draining:
+                    raise ServiceClosedError("draining; not accepting requests")
+                http._send_json(200, self.powercap(http._read_body()))
                 return
             if path == "/v1/characterize":
                 payload = http._read_body()

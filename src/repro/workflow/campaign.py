@@ -139,6 +139,7 @@ def run_campaign(
     fault_plan: Optional["FaultPlan"] = None,
     policy: Optional["RecoveryPolicy"] = None,
     governor=None,
+    power_budget_w: Optional[float] = None,
 ) -> CampaignReport:
     """Play the campaign through the dump pipeline.
 
@@ -152,11 +153,22 @@ def run_campaign(
     A *governor* (a :class:`repro.governor.Governor`, spec or policy
     name) steers any stage without an explicit frequency, learning
     across snapshots; its decision summary lands on
-    :attr:`CampaignReport.governor`.
+    :attr:`CampaignReport.governor`. A *power_budget_w* caps the node's
+    package watts: each phase's cap_ghz comes from inverting the node's
+    P(f) curve (:func:`repro.powercap.phase_caps_for_budget`) and binds
+    pinned and governed stages alike; ``None`` is bit-identical to an
+    uncapped run.
     """
     from repro.governor import resolve_governor
 
     governor = resolve_governor(governor, node.cpu, power_curve=node.power_curve)
+    phase_caps = None
+    if power_budget_w is not None:
+        from repro.powercap import phase_caps_for_budget
+
+        phase_caps = phase_caps_for_budget(
+            node.cpu, node.power_curve, power_budget_w, codec=compressor.name
+        )
     dumper = DataDumper(
         node, nfs, repeats=repeats,
         chunk_bytes=chunk_bytes, executor=executor, workers=workers,
@@ -182,6 +194,7 @@ def run_campaign(
                     policy=policy,
                     snapshot_index=index,
                     governor=governor,
+                    phase_caps=phase_caps,
                 )
                 sp.set(
                     ratio=report.compression_ratio,
@@ -218,6 +231,10 @@ class CampaignPoint:
     #: (a pinned stage ignores the governor by construction, so mixing
     #: them would silently half-apply the policy).
     governor: Optional["GovernorSpec"] = None
+    #: Node package watt budget; phase caps derived from the node's
+    #: P(f) curve bind every stage. Rides in the point so capped and
+    #: uncapped runs can never alias in the result cache.
+    power_budget_w: Optional[float] = None
 
     def __post_init__(self):
         check_positive(self.error_bound, "error_bound")
@@ -228,6 +245,8 @@ class CampaignPoint:
                 "a CampaignPoint cannot pin stage frequencies and carry a "
                 "governor at the same time"
             )
+        if self.power_budget_w is not None:
+            check_positive(self.power_budget_w, "power_budget_w")
 
 
 def _run_campaign_point(
@@ -261,6 +280,7 @@ def _run_campaign_point(
         chunk_bytes=chunk_bytes,
         fault_plan=fault_plan,
         governor=point.governor,
+        power_budget_w=point.power_budget_w,
     )
 
 
@@ -278,6 +298,7 @@ def run_campaign_sweep(
     fault_plan: Optional["FaultPlan"] = None,
     chunk_bytes: Optional[int] = None,
     governor: "GovernorSpec | str | None" = None,
+    power_budget_w: Optional[float] = None,
 ) -> Tuple[CampaignReport, ...]:
     """Play the campaign at every sweep point, points in parallel.
 
@@ -295,6 +316,13 @@ def run_campaign_sweep(
     is the sweep-wide default: it fills every point that neither pins a
     stage frequency nor carries its own spec, *before* cache keys are
     computed — governed and ungoverned sweeps can never alias.
+
+    *power_budget_w* is likewise the sweep-wide watt budget: it fills
+    every point that doesn't carry its own, before cache keys are
+    computed, so capped and uncapped sweeps never alias either. Because
+    the budget travels inside the pure, picklable point, capped sweeps
+    stay byte-identical across executor backends — including the
+    distributed one — for free.
     """
     if not points:
         raise ValueError("points must be non-empty")
@@ -321,6 +349,14 @@ def run_campaign_sweep(
                 and p.write_freq_ghz is None
             )
             else p
+            for p in resolved
+        )
+    if power_budget_w is not None:
+        from repro.powercap import check_budget_w
+
+        budget = check_budget_w(power_budget_w, "power_budget_w")
+        resolved = tuple(
+            replace(p, power_budget_w=budget) if p.power_budget_w is None else p
             for p in resolved
         )
     codec_name = compressor if isinstance(compressor, str) else compressor.name

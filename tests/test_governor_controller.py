@@ -235,3 +235,45 @@ class TestObservability:
         _, gov = run_sim("adaptive", seed=0, snapshots=30)
         assert total("repro_governor_adjustments_total") > adjustments0
         assert total("repro_governor_refits_total") >= refits0 + gov.refits
+
+
+class TestInfeasibleCapEdge:
+    def _total(self):
+        return sum(m.value for m in get_registry().metrics()
+                   if m.name == "repro_governor_infeasible_caps_total")
+
+    def test_cap_below_fmin_pins_floor_and_tags_the_trace(self):
+        gov = StaticGovernor(CPU)
+        before = self._total()
+        freq = gov.decide(Phase.COMPRESS, cap_ghz=CPU.fmin_ghz / 2)
+        assert freq == CPU.fmin_ghz
+        assert gov.trace[-1]["capped_below_fmin"] is True
+        assert self._total() == before + 1
+
+    def test_feasible_caps_leave_the_trace_unchanged(self):
+        gov = StaticGovernor(CPU)
+        before = self._total()
+        gov.decide(Phase.COMPRESS, cap_ghz=1.2)
+        gov.decide(Phase.WRITE)
+        assert all("capped_below_fmin" not in e for e in gov.trace)
+        assert self._total() == before
+
+    def test_adaptive_governor_tags_too(self):
+        gov = make_governor("adaptive", CPU, seed=0,
+                            power_curve=CalibratedPowerCurve())
+        freq = gov.decide(Phase.WRITE, cap_ghz=0.1)
+        assert freq == CPU.fmin_ghz
+        assert gov.trace[-1]["capped_below_fmin"] is True
+
+    def test_zero_watt_cluster_cap_reaches_the_governor_tag(self):
+        # The cluster controller maps an infeasible watt cap to
+        # governor_cap_ghz == 0.0; decide() must both pin fmin and
+        # record the infeasibility.
+        from repro.powercap.controller import NodeCap
+
+        cap = NodeCap(node_id="a", cap_w=0.0, cap_ghz=CPU.fmin_ghz,
+                      infeasible=True)
+        gov = StaticGovernor(CPU)
+        freq = gov.decide(Phase.COMPRESS, cap_ghz=cap.governor_cap_ghz)
+        assert freq == CPU.fmin_ghz
+        assert gov.trace[-1]["capped_below_fmin"] is True

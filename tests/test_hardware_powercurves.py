@@ -117,3 +117,44 @@ class TestPhysicalCurve:
             for f in mids
         ]
         assert max(diffs) > 0.01
+
+
+class TestFrequencyForPower:
+    def test_round_trips_through_power_watts(self, curve):
+        for cpu in CPUS:
+            for kind in KINDS:
+                for f in (cpu.fmin_ghz, 1.2, 1.6, cpu.fmax_ghz):
+                    watts = curve.power_watts(cpu, f, kind)
+                    back = curve.frequency_for_power(cpu, watts, kind)
+                    assert back == pytest.approx(f, abs=1e-6)
+
+    def test_clamps_to_the_frequency_range(self, curve):
+        cpu = BROADWELL_D1548
+        k = WorkloadKind.COMPRESS_SZ
+        floor = curve.power_watts(cpu, cpu.fmin_ghz, k)
+        peak = curve.power_watts(cpu, cpu.fmax_ghz, k)
+        assert curve.frequency_for_power(cpu, floor * 0.5, k) == cpu.fmin_ghz
+        assert curve.frequency_for_power(cpu, peak * 2.0, k) == cpu.fmax_ghz
+
+    def test_monotone_in_watts(self, curve):
+        cpu = BROADWELL_D1548
+        k = WorkloadKind.WRITE
+        watts = np.linspace(1.0, 40.0, 25)
+        freqs = [curve.frequency_for_power(cpu, w, k) for w in watts]
+        assert np.all(np.diff(freqs) >= -1e-12)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     -float("inf"), 0.0, -3.0, "20", None])
+    def test_rejects_non_finite_and_non_positive_watts(self, curve, bad):
+        with pytest.raises(ValueError):
+            curve.frequency_for_power(
+                BROADWELL_D1548, bad, WorkloadKind.COMPRESS_SZ)
+
+    def test_granted_frequency_fits_the_watts(self, curve):
+        cpu = SKYLAKE_4114
+        k = WorkloadKind.COMPRESS_ZFP
+        floor = curve.power_watts(cpu, cpu.fmin_ghz, k)
+        peak = curve.power_watts(cpu, cpu.fmax_ghz, k)
+        for w in np.linspace(floor + 0.01, peak, 11):
+            f = curve.frequency_for_power(cpu, float(w), k)
+            assert curve.power_watts(cpu, f, k) <= w + 1e-6

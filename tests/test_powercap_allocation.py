@@ -1,0 +1,232 @@
+"""Allocation-policy properties: budget safety, determinism, optimality.
+
+Hypothesis drives randomized fleets through every allocation policy and
+pins the invariants the cluster controller relies on: caps never exceed
+the budget, node order never changes the answer, water-filling never
+loses to uniform on the modeled makespan, and redistribution after a
+node loss conserves the budget.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.powercap.allocation import (
+    ALLOCATION_POLICIES,
+    NodePowerModel,
+    allocate_budget,
+    allocation_makespan,
+    apply_hysteresis,
+    check_budget_w,
+    proportional_allocation,
+    uniform_allocation,
+    waterfill_allocation,
+)
+
+# A realistic little DVFS grid: ascending frequencies, non-decreasing
+# power.  Work/sensitivity vary per node so makespans differ.
+GRID = (0.8, 1.2, 1.6, 2.0)
+
+
+def node(i, power_scale=1.0, work=1.0, sensitivity=0.55):
+    power = tuple(power_scale * (8.0 + 6.0 * f) for f in GRID)
+    return NodePowerModel(f"n{i:02d}", GRID, power, work=work,
+                          sensitivity=sensitivity)
+
+
+@st.composite
+def fleets(draw, min_size=1, max_size=8):
+    n = draw(st.integers(min_size, max_size))
+    return [
+        node(
+            i,
+            power_scale=draw(st.floats(0.5, 2.0)),
+            work=draw(st.floats(0.1, 4.0)),
+            sensitivity=draw(st.floats(0.0, 1.0)),
+        )
+        for i in range(n)
+    ]
+
+
+budgets = st.floats(1.0, 500.0)
+
+
+class TestBudgetValidation:
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"),
+                                     float("inf"), "12", None])
+    def test_rejects_non_finite_and_non_positive(self, bad):
+        with pytest.raises(ValueError):
+            check_budget_w(bad, "b")
+
+    def test_passes_positive_floats_through(self):
+        assert check_budget_w(120, "b") == 120.0
+
+
+class TestNodePowerModel:
+    def test_rejects_unsorted_grid(self):
+        with pytest.raises(ValueError):
+            NodePowerModel("n", (2.0, 1.0), (10.0, 20.0))
+
+    def test_rejects_decreasing_power(self):
+        with pytest.raises(ValueError):
+            NodePowerModel("n", (1.0, 2.0), (20.0, 10.0))
+
+    def test_index_for_cap_clamps_to_floor(self):
+        m = node(0)
+        # Below the floor power the node still runs at the lowest
+        # grid point: a cap is a ceiling, not an off switch.
+        assert m.index_for_cap(0.0) == 0
+        assert m.index_for_cap(m.max_power + 100.0) == len(GRID) - 1
+
+    def test_runtime_decreases_with_frequency(self):
+        m = node(0, sensitivity=0.8)
+        runtimes = [m.runtime_at(i) for i in range(len(GRID))]
+        assert runtimes == sorted(runtimes, reverse=True)
+
+
+class TestBudgetSafety:
+    @given(fleets(), budgets, st.sampled_from(ALLOCATION_POLICIES))
+    @settings(max_examples=200, deadline=None)
+    def test_caps_never_exceed_budget(self, fleet, budget, policy):
+        caps = allocate_budget(policy, fleet, budget)
+        assert set(caps) == {m.node_id for m in fleet}
+        assert sum(caps.values()) <= budget + 1e-6
+        assert all(c >= 0.0 for c in caps.values())
+
+    @given(fleets(min_size=2), budgets)
+    @settings(max_examples=100, deadline=None)
+    def test_generous_budget_grants_every_max(self, fleet, budget):
+        rich = sum(m.max_power for m in fleet) + budget
+        for policy in ALLOCATION_POLICIES:
+            caps = allocate_budget(policy, fleet, rich)
+            for m in fleet:
+                assert caps[m.node_id] == pytest.approx(m.max_power)
+
+
+class TestDeterminism:
+    @given(fleets(min_size=2), budgets, st.sampled_from(ALLOCATION_POLICIES),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=150, deadline=None)
+    def test_node_order_never_changes_the_answer(self, fleet, budget,
+                                                 policy, rng):
+        shuffled = list(fleet)
+        rng.shuffle(shuffled)
+        assert (allocate_budget(policy, fleet, budget)
+                == allocate_budget(policy, shuffled, budget))
+
+    def test_duplicate_node_ids_are_rejected(self):
+        twins = [node(1), node(1)]
+        with pytest.raises(ValueError, match="duplicate"):
+            uniform_allocation(twins, 100.0)
+
+
+class TestWaterfillDominatesUniform:
+    @given(fleets(min_size=2), budgets)
+    @settings(max_examples=200, deadline=None)
+    def test_makespan_never_worse_than_uniform(self, fleet, budget):
+        wf = waterfill_allocation(fleet, budget)
+        uni = uniform_allocation(fleet, budget)
+        assert (allocation_makespan(fleet, wf)
+                <= allocation_makespan(fleet, uni) + 1e-9)
+
+    def test_waterfill_prioritizes_the_bottleneck(self):
+        # One node carries 4x the work; with a budget that cannot lift
+        # everyone, water-filling raises the heavy node first.
+        fleet = [node(0, work=4.0, sensitivity=0.9),
+                 node(1, work=1.0, sensitivity=0.9),
+                 node(2, work=1.0, sensitivity=0.9)]
+        tight = fleet[0].max_power + 2 * fleet[0].min_power
+        caps = waterfill_allocation(fleet, tight)
+        assert caps["n00"] >= caps["n01"]
+        assert caps["n00"] >= caps["n02"]
+
+
+class TestProportional:
+    @given(fleets(min_size=2), budgets)
+    @settings(max_examples=100, deadline=None)
+    def test_missing_demands_fall_back_to_max_power(self, fleet, budget):
+        assert (proportional_allocation(fleet, budget)
+                == proportional_allocation(
+                    fleet, budget,
+                    demands={m.node_id: m.max_power for m in fleet}))
+
+    def test_heavier_demand_draws_a_larger_cap(self):
+        fleet = [node(0), node(1)]
+        budget = fleet[0].max_power  # not enough for both
+        caps = proportional_allocation(
+            fleet, budget, demands={"n00": 30.0, "n01": 10.0})
+        assert caps["n00"] > caps["n01"]
+
+    def test_non_finite_demands_are_ignored(self):
+        fleet = [node(0), node(1)]
+        ok = proportional_allocation(fleet, 20.0)
+        weird = proportional_allocation(
+            fleet, 20.0, demands={"n00": float("nan"), "n01": -3.0})
+        assert weird == ok
+
+
+class TestRedistributionAfterLoss:
+    @given(fleets(min_size=2), budgets, st.sampled_from(ALLOCATION_POLICIES))
+    @settings(max_examples=150, deadline=None)
+    def test_survivors_reclaim_the_budget(self, fleet, budget, policy):
+        before = allocate_budget(policy, fleet, budget)
+        survivors = fleet[1:]
+        after = allocate_budget(policy, survivors, budget)
+        assert sum(after.values()) <= budget + 1e-6
+        # The dead node's watts go back to the pool: the survivors'
+        # total never shrinks below what they already held.
+        held = sum(before[m.node_id] for m in survivors)
+        assert sum(after.values()) >= held - 1e-6
+
+    @given(fleets(min_size=2), budgets)
+    @settings(max_examples=100, deadline=None)
+    def test_uniform_caps_are_monotone_after_a_leave(self, fleet, budget):
+        before = uniform_allocation(fleet, budget)
+        after = uniform_allocation(fleet[1:], budget)
+        for m in fleet[1:]:
+            assert after[m.node_id] >= before[m.node_id] - 1e-9
+
+
+class TestHysteresis:
+    def test_small_moves_are_suppressed(self):
+        prev = {"a": 100.0, "b": 50.0}
+        cand = {"a": 103.0, "b": 20.0}
+        out = apply_hysteresis(prev, cand, budget_w=200.0, hysteresis=0.05)
+        assert out["a"] == 100.0  # 3% move: held
+        assert out["b"] == 20.0   # 60% move: taken
+
+    def test_falls_back_when_blend_breaks_the_budget(self):
+        prev = {"a": 100.0, "b": 100.0}
+        cand = {"a": 98.0, "b": 40.0}
+        # Keeping a=100 would spend 140 > 130: the candidate wins
+        # wholesale so the budget invariant survives.
+        out = apply_hysteresis(prev, cand, budget_w=130.0, hysteresis=0.05)
+        assert out == cand
+
+    def test_new_nodes_pass_straight_through(self):
+        out = apply_hysteresis({}, {"a": 10.0}, budget_w=20.0,
+                               hysteresis=0.05)
+        assert out == {"a": 10.0}
+
+
+class TestMakespan:
+    def test_empty_fleet_has_zero_makespan(self):
+        assert allocation_makespan([], {}) == 0.0
+
+    def test_makespan_is_the_slowest_node(self):
+        fleet = [node(0, work=1.0), node(1, work=3.0)]
+        caps = {m.node_id: m.max_power for m in fleet}
+        assert allocation_makespan(fleet, caps) == pytest.approx(
+            fleet[1].runtime_at(len(GRID) - 1))
+
+    def test_unknown_policy_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown allocation policy"):
+            allocate_budget("greedy", [node(0)], 50.0)
+
+    def test_infeasible_budget_still_returns_finite_makespan(self):
+        fleet = [node(0), node(1)]
+        caps = waterfill_allocation(fleet, 1.0)
+        span = allocation_makespan(fleet, caps)
+        assert math.isfinite(span) and span > 0.0

@@ -1,0 +1,54 @@
+"""CLI: the powercap subcommand and the --power-budget-w campaign knob."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPowercapCommand:
+    def test_smoke_prints_caps_and_receipt(self, capsys):
+        assert main(["powercap", "--budget-w", "120", "--nodes", "4",
+                     "--per-node-gb", "4", "--scale", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "4-node fleet" in out
+        assert "120 W budget" in out
+        assert "waterfill policy" in out
+        assert out.count("node0") == 4
+        assert "trace receipt" in out
+
+    def test_infeasible_nodes_are_called_out(self, capsys):
+        assert main(["powercap", "--budget-w", "68", "--nodes", "2",
+                     "--per-node-gb", "4", "--scale", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "below DVFS floor" in out
+
+    def test_policy_flag_is_honoured(self, capsys):
+        assert main(["powercap", "--budget-w", "100", "--nodes", "3",
+                     "--per-node-gb", "4", "--scale", "8",
+                     "--policy", "uniform"]) == 0
+        assert "uniform policy" in capsys.readouterr().out
+
+    def test_rejects_unknown_policy(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["powercap", "--budget-w", "100", "--policy", "greedy"])
+
+    def test_rejects_reserve_swallowing_the_budget(self, capsys):
+        assert main(["powercap", "--budget-w", "30",
+                     "--nfs-reserve-w", "40",
+                     "--per-node-gb", "4", "--scale", "8"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestCampaignBudgetFlag:
+    def test_campaign_budget_smoke(self, capsys):
+        assert main(["campaign", "--arch", "broadwell", "--snapshots", "1",
+                     "--snapshot-gb", "1", "--scale", "32",
+                     "--power-budget-w", "18"]) == 0
+        out = capsys.readouterr().out
+        assert "18" in out and "budget" in out
+
+    def test_campaign_rejects_non_positive_budget(self, capsys):
+        assert main(["campaign", "--arch", "broadwell", "--snapshots", "1",
+                     "--snapshot-gb", "1", "--scale", "32",
+                     "--power-budget-w", "-3"]) == 1
+        assert "error" in capsys.readouterr().err
